@@ -1,0 +1,274 @@
+package sempatch
+
+// The benchmark harness regenerates every experiment of the paper's Section
+// 3 (L1..L14, one benchmark each) plus the cross-cutting studies S1..S6
+// indexed in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The paper reports no absolute numbers (it is a use-case paper); the
+// reproduction's claims are about which transformations are expressible and
+// how the engine scales, which these benchmarks quantify.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/aossoa"
+	"repro/internal/codegen"
+	"repro/internal/cparse"
+	"repro/internal/diff"
+	"repro/internal/hipify"
+	"repro/internal/instrument"
+	"repro/internal/patchlib"
+	"repro/internal/smpl"
+)
+
+// benchExperiment runs one patchlib experiment repeatedly.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := patchlib.ByID(id)
+	if !ok {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	src := e.Input()
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := e.RunOn(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkL1Likwid(b *testing.B)         { benchExperiment(b, "L1") }
+func BenchmarkL2DeclareVariant(b *testing.B) { benchExperiment(b, "L2") }
+func BenchmarkL3TargetAttr(b *testing.B)     { benchExperiment(b, "L3") }
+func BenchmarkL4BloatRemoval(b *testing.B)   { benchExperiment(b, "L4") }
+func BenchmarkL5UnrollP0(b *testing.B)       { benchExperiment(b, "L5") }
+func BenchmarkL6UnrollP1R1(b *testing.B)     { benchExperiment(b, "L6") }
+func BenchmarkL7MultiIndex(b *testing.B)     { benchExperiment(b, "L7") }
+func BenchmarkL8HipFuncs(b *testing.B)       { benchExperiment(b, "L8") }
+func BenchmarkL9HipTypes(b *testing.B)       { benchExperiment(b, "L9") }
+func BenchmarkL10KernelLaunch(b *testing.B)  { benchExperiment(b, "L10") }
+func BenchmarkL11Acc2Omp(b *testing.B)       { benchExperiment(b, "L11") }
+func BenchmarkL12StlFind(b *testing.B)       { benchExperiment(b, "L12") }
+func BenchmarkL13Kokkos(b *testing.B)        { benchExperiment(b, "L13") }
+func BenchmarkL14PragmaInject(b *testing.B)  { benchExperiment(b, "L14") }
+func BenchmarkAoSSoA(b *testing.B)           { benchExperiment(b, "S6") }
+
+// S1: engine scaling with file size (L1 patch over growing inputs).
+func BenchmarkScalingFileSize(b *testing.B) {
+	e, _ := patchlib.ByID("L1")
+	for _, funcs := range []int{4, 16, 64, 256} {
+		src := codegen.OpenMP(codegen.Config{Funcs: funcs, StmtsPerFunc: 2, Seed: 1})
+		b.Run(fmt.Sprintf("funcs=%d", funcs), func(b *testing.B) {
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				if _, _, err := e.RunOn(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// S2: engine scaling with rule count (N independent rename rules).
+func BenchmarkScalingRules(b *testing.B) {
+	src := codegen.Mixed(codegen.Config{Funcs: 8, StmtsPerFunc: 3, Seed: 2})
+	for _, rules := range []int{1, 4, 16, 64} {
+		var sb strings.Builder
+		for r := 0; r < rules; r++ {
+			fmt.Fprintf(&sb, "@r%d@\nexpression list el;\n@@\n- missing_api_%d(el)\n+ replaced_%d(el)\n\n", r, r, r)
+		}
+		patchText := sb.String()
+		b.Run(fmt.Sprintf("rules=%d", rules), func(b *testing.B) {
+			p, err := ParsePatch("scale.cocci", patchText)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(src)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewApplier(p, Options{}).Apply(File{Name: "m.c", Src: src}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// S3: AST-level vs text-level CUDA-to-HIP translation (the hipify-perl
+// design-point comparison). The text baseline is faster but unsafe; the
+// paper's argument is that AST-level matching buys correctness at modest
+// cost — the ratio is what this benchmark reports.
+func BenchmarkHipifyASTvsText(b *testing.B) {
+	src := codegen.CUDA(codegen.Config{Funcs: 16, StmtsPerFunc: 3, Seed: 3})
+	b.Run("ast", func(b *testing.B) {
+		b.SetBytes(int64(len(src)))
+		for i := 0; i < b.N; i++ {
+			if _, _, err := hipify.Translate("b.cu", src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("text", func(b *testing.B) {
+		b.SetBytes(int64(len(src)))
+		for i := 0; i < b.N; i++ {
+			hipify.TextHipify(src)
+		}
+	})
+}
+
+// S4: dots constraint checking backends — syntactic subtree scan only vs
+// with the additional CTL/CFG path verification.
+func BenchmarkDotsBackend(b *testing.B) {
+	patch := `@r@
+@@
+lock();
+... when != forbidden()
+unlock();
+`
+	var sb strings.Builder
+	for f := 0; f < 24; f++ {
+		fmt.Fprintf(&sb, "void crit_%d(int x){\n\tlock();\n\twork_%d(x);\n\tif (x) other(x);\n\tunlock();\n}\n", f, f)
+	}
+	src := sb.String()
+	for _, mode := range []struct {
+		name string
+		ctl  bool
+	}{{"sequence", false}, {"sequence+ctl", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p, err := ParsePatch("dots.cocci", patch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(src)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := NewApplier(p, Options{UseCTL: mode.ctl}).Apply(File{Name: "c.c", Src: src}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// S5: parser throughput on each workload shape.
+func BenchmarkParserThroughput(b *testing.B) {
+	for _, shape := range []string{"openmp", "cuda", "aos", "mixed"} {
+		src := codegen.Shapes[shape](codegen.Config{Funcs: 64, StmtsPerFunc: 4, Seed: 4})
+		b.Run(shape, func(b *testing.B) {
+			opts := cparse.Options{CPlusPlus: true, CUDA: true}
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				if _, err := cparse.Parse("p.c", src, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Patch-parsing cost: every experiment's .cocci text.
+func BenchmarkPatchParse(b *testing.B) {
+	exps := patchlib.Experiments()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := exps[i%len(exps)]
+		if _, err := smpl.ParsePatch(e.ID, e.Patch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Unified-diff generation on a realistic transformation output.
+func BenchmarkDiff(b *testing.B) {
+	e, _ := patchlib.ByID("L1")
+	src := codegen.OpenMP(codegen.Config{Funcs: 32, StmtsPerFunc: 2, Seed: 5})
+	_, out, err := e.RunOn(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diff.Unified("a", "b", src, out)
+	}
+}
+
+// S6 companion: the full AoS-to-SoA conversion pipeline (analysis +
+// generated patch + declaration replacement) on growing particle codes.
+func BenchmarkAoSSoAFull(b *testing.B) {
+	for _, funcs := range []int{2, 8, 32} {
+		src := codegen.AoS(codegen.Config{Funcs: funcs, StmtsPerFunc: 4, Seed: 10})
+		b.Run(fmt.Sprintf("funcs=%d", funcs), func(b *testing.B) {
+			b.SetBytes(int64(len(src)))
+			for i := 0; i < b.N; i++ {
+				if _, _, err := aossoa.Transform(src, "particle", "P"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Transitory instrumentation roundtrip: insert markers, then remove them
+// (L1 extended to the paper's revert workflow), per marker API.
+func BenchmarkInstrumentRoundtrip(b *testing.B) {
+	src := codegen.OpenMP(codegen.Config{Funcs: 8, StmtsPerFunc: 2, Seed: 12})
+	for _, name := range []string{"likwid", "scorep", "caliper"} {
+		api := instrument.APIs[name]
+		ins, err := instrument.InsertPatch(api, instrument.Selector{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rem, err := instrument.RemovePatch(api, instrument.Selector{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			pi, err := ParsePatch("i.cocci", ins)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pr, err := ParsePatch("r.cocci", rem)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(int64(len(src)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r1, err := NewApplier(pi, Options{}).Apply(File{Name: "a.c", Src: src})
+				if err != nil {
+					b.Fatal(err)
+				}
+				r2, err := NewApplier(pr, Options{}).Apply(File{Name: "a.c", Src: r1.Outputs["a.c"]})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if r2.Outputs["a.c"] != src {
+					b.Fatal("roundtrip broke identity")
+				}
+			}
+		})
+	}
+}
+
+// Match-only cost (no transformation): a pure-context rule.
+func BenchmarkMatchOnly(b *testing.B) {
+	patch := "@probe@\ntype T;\nidentifier f;\nparameter list PL;\nstatement list SL;\n@@\nT f (PL) { SL }\n"
+	src := codegen.Mixed(codegen.Config{Funcs: 32, StmtsPerFunc: 4, Seed: 6})
+	p, err := ParsePatch("probe.cocci", patch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewApplier(p, Options{}).Apply(File{Name: "m.c", Src: src}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package sempatch
+
+// End-to-end CLI integration tests: build the tools with the Go toolchain
+// and run them on the shipped testdata, exactly as a user would.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one command into a temp dir, once per test binary.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func TestCLIGocciDiff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gocci")
+	out, err := exec.Command(bin, "--sp-file", "testdata/rename.cocci", "testdata/setup.c").CombinedOutput()
+	if err != nil {
+		t.Fatalf("gocci: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, w := range []string{"-\told_solver_init(g, rank);", "+\tsolver_init_v2(g, rank);", "@@"} {
+		if !strings.Contains(s, w) {
+			t.Errorf("diff missing %q:\n%s", w, s)
+		}
+	}
+}
+
+func TestCLIGocciInPlace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gocci")
+	src, err := os.ReadFile("testdata/setup.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	work := filepath.Join(t.TempDir(), "setup.c")
+	if err := os.WriteFile(work, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(bin, "--sp-file", "testdata/rename.cocci", "--in-place", work).CombinedOutput(); err != nil {
+		t.Fatalf("gocci --in-place: %v\n%s", err, out)
+	}
+	got, err := os.ReadFile(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "solver_init_v2(g, rank);") {
+		t.Errorf("file not rewritten:\n%s", got)
+	}
+	if strings.Contains(string(got), "old_solver_init") {
+		t.Errorf("old calls remain:\n%s", got)
+	}
+}
+
+func TestCLIGocciGenAndParse(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	gen := buildTool(t, "gocci-gen")
+	out, err := exec.Command(gen, "--shape", "cuda", "--funcs", "2", "--stmts", "1").Output()
+	if err != nil {
+		t.Fatalf("gocci-gen: %v", err)
+	}
+	if !strings.Contains(string(out), "cudaMalloc") {
+		t.Fatalf("generator output unexpected:\n%s", out)
+	}
+	cu := filepath.Join(t.TempDir(), "app.cu")
+	if err := os.WriteFile(cu, out, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	parse := buildTool(t, "gocci-parse")
+	stats, err := exec.Command(parse, "--dump", "stats", "--cuda", cu).Output()
+	if err != nil {
+		t.Fatalf("gocci-parse: %v", err)
+	}
+	if !strings.Contains(string(stats), "funcs") {
+		t.Errorf("stats output: %s", stats)
+	}
+
+	hip := buildTool(t, "gocci-hipify")
+	diffOut, err := exec.Command(hip, cu).Output()
+	if err != nil {
+		t.Fatalf("gocci-hipify: %v", err)
+	}
+	if !strings.Contains(string(diffOut), "+\thipError_t err = hipMalloc") &&
+		!strings.Contains(string(diffOut), "hipMalloc") {
+		t.Errorf("hipify diff missing:\n%s", diffOut)
+	}
+}
+
+func TestCLIUsageErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gocci")
+	// no args: exit 2
+	err := exec.Command(bin).Run()
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
+		t.Errorf("usage error exit: %v", err)
+	}
+}

@@ -1,0 +1,72 @@
+// Command gocci-acc2omp translates OpenACC directives to OpenMP. The default
+// path goes through the semantic patch engine (the paper's pragmainfo use
+// case, with the directive translator as the script rule); --line switches
+// to the plain line-oriented rewriting the paper contrasts it with.
+//
+// Usage:
+//
+//	gocci-acc2omp [--line] [--offload] [--in-place] file.c ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/accomp"
+	"repro/internal/diff"
+	"repro/internal/patchlib"
+)
+
+func main() {
+	lineMode := flag.Bool("line", false, "line-oriented rewriting instead of the semantic patch engine")
+	offload := flag.Bool("offload", false, "target OpenMP device offloading instead of host threading")
+	inPlace := flag.Bool("in-place", false, "rewrite files instead of printing diffs")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: gocci-acc2omp [--line] [--offload] [--in-place] file.c ...")
+		os.Exit(2)
+	}
+	mode := accomp.Host
+	if *offload {
+		mode = accomp.Offload
+	}
+
+	for _, path := range flag.Args() {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		src := string(b)
+		var out string
+		var warns []accomp.Warning
+		if *lineMode {
+			out, warns, err = accomp.TranslateSource(src, mode)
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			exp, _ := patchlib.ByID("L11")
+			_, out, err = exp.RunOn(src)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		for _, w := range warns {
+			fmt.Fprintf(os.Stderr, "warning: %s: %s\n", w.What, w.Why)
+		}
+		if *inPlace {
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Print(diff.Unified("a/"+path, "b/"+path, src, out))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gocci-acc2omp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,69 @@
+// Command gocci-hipify translates CUDA sources to HIP. The default mode is
+// AST-level translation (function names in call position, type names in type
+// position, kernel launches, headers); --text switches to the hipify-perl
+// style dictionary substitution baseline for comparison.
+//
+// Usage:
+//
+//	gocci-hipify [--text] [--in-place] file.cu [file2.cu ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/diff"
+	"repro/internal/hipify"
+)
+
+func main() {
+	text := flag.Bool("text", false, "use the text-level (hipify-perl style) baseline")
+	inPlace := flag.Bool("in-place", false, "rewrite files instead of printing diffs")
+	stats := flag.Bool("stats", false, "print translation statistics")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: gocci-hipify [--text] [--in-place] file.cu ...")
+		os.Exit(2)
+	}
+
+	for _, path := range flag.Args() {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		src := string(b)
+		var out string
+		if *text {
+			var n int
+			out, n = hipify.TextHipify(src)
+			if *stats {
+				fmt.Fprintf(os.Stderr, "%s: %d text substitutions\n", path, n)
+			}
+		} else {
+			var rep hipify.Report
+			out, rep, err = hipify.Translate(path, src)
+			if err != nil {
+				fatal(err)
+			}
+			if *stats {
+				fmt.Fprintf(os.Stderr,
+					"%s: %d funcs, %d types, %d enums, %d launches, %d headers\n",
+					path, rep.Functions, rep.Types, rep.Enums, rep.Launches, rep.Headers)
+			}
+		}
+		if *inPlace {
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fatal(err)
+			}
+		} else {
+			fmt.Print(diff.Unified("a/"+path, "b/"+path, src, out))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gocci-hipify:", err)
+	os.Exit(1)
+}

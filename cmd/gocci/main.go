@@ -1,0 +1,88 @@
+// Command gocci applies a semantic patch to C/C++ source files, printing a
+// unified diff by default (like spatch) or rewriting files in place.
+//
+// Usage:
+//
+//	gocci --sp-file patch.cocci [--c++[=STD]] [--cuda] [--use-ctl]
+//	      [--in-place] file.c [file2.c ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	sempatch "repro"
+)
+
+func main() {
+	spFile := flag.String("sp-file", "", "semantic patch file (.cocci)")
+	cxx := flag.Int("cxx", 0, "enable C++ mode with the given standard (11, 17, 23); 0 = C")
+	cuda := flag.Bool("cuda", false, "enable CUDA <<< >>> kernel launches")
+	useCTL := flag.Bool("use-ctl", false, "verify dots constraints with the CTL/CFG backend")
+	inPlace := flag.Bool("in-place", false, "rewrite files instead of printing diffs")
+	quiet := flag.Bool("quiet", false, "suppress diffs; only report matched rules")
+	var defines defineList
+	flag.Var(&defines, "D", "define a virtual dependency name (repeatable)")
+	flag.Parse()
+
+	if *spFile == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: gocci --sp-file patch.cocci [options] file.c ...")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	patch, err := sempatch.ParsePatchFile(*spFile)
+	if err != nil {
+		fatal(err)
+	}
+	opts := sempatch.Options{CPlusPlus: *cxx > 0, Std: *cxx, CUDA: *cuda, UseCTL: *useCTL, Defines: defines}
+
+	var files []sempatch.File
+	for _, path := range flag.Args() {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		files = append(files, sempatch.File{Name: path, Src: string(b)})
+	}
+
+	res, err := sempatch.NewApplier(patch, opts).Apply(files...)
+	if err != nil {
+		fatal(err)
+	}
+
+	for _, name := range res.Changed() {
+		if *inPlace {
+			if err := os.WriteFile(name, []byte(res.Outputs[name]), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "patched %s\n", name)
+		} else if !*quiet {
+			fmt.Print(res.Diffs[name])
+		}
+	}
+	if *quiet {
+		for _, r := range patch.Rules() {
+			fmt.Printf("rule %-20s matches=%d\n", r, res.MatchCount[r])
+		}
+	}
+	if len(res.Changed()) == 0 {
+		fmt.Fprintln(os.Stderr, "no changes")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gocci:", err)
+	os.Exit(1)
+}
+
+// defineList collects repeatable -D flags.
+type defineList []string
+
+func (d *defineList) String() string { return fmt.Sprint([]string(*d)) }
+
+func (d *defineList) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}

@@ -1,0 +1,35 @@
+// Aossoa: the [ML21] predecessor case study the paper builds on — convert a
+// GADGET-style array-of-structures particle code to structure-of-arrays for
+// better auto-vectorization, keeping the AoS source as the one developers
+// edit. The tool analyses the struct layout, generates the SoA declaration
+// and the access-rewriting semantic patch, and applies it.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/aossoa"
+	"repro/internal/codegen"
+	"repro/internal/diff"
+)
+
+func main() {
+	src := codegen.AoS(codegen.Config{Funcs: 2, StmtsPerFunc: 2, Seed: 21})
+
+	layout, err := aossoa.Analyze(src, "particle", "P")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("struct %s: %d fields, array %s[%s]\n\n",
+		layout.StructName, len(layout.Fields), layout.ArrayName, layout.Length)
+	fmt.Println("=== generated semantic patch ===")
+	fmt.Print(layout.AccessPatch())
+
+	out, n, err := aossoa.Transform(src, "particle", "P")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n=== %d accesses rewritten ===\n", n)
+	fmt.Print(diff.Unified("a/particles.c", "b/particles.c", src, out))
+}

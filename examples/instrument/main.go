@@ -1,0 +1,39 @@
+// Instrument: the paper's first use case (L1). A two-rule semantic patch
+// adds LIKWID marker-API instrumentation around every OpenMP-annotated
+// block of a generated numeric code, plus the required include — exactly the
+// workflow of transiently instrumenting the kernels one is currently tuning.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sempatch "repro"
+	"repro/internal/codegen"
+)
+
+const patch = `@@ @@
+#include <omp.h>
++ #include <likwid-marker.h>
+
+@@ @@
+#pragma omp ...
+{
++ LIKWID_MARKER_START(__func__);
+...
++ LIKWID_MARKER_STOP(__func__);
+}
+`
+
+func main() {
+	src := codegen.OpenMP(codegen.Config{Funcs: 2, StmtsPerFunc: 1, Seed: 7})
+	res, err := sempatch.Apply("likwid.cocci", patch, sempatch.Options{},
+		sempatch.File{Name: "kernels.c", Src: src})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== instrumented source ===")
+	fmt.Print(res.Outputs["kernels.c"])
+	fmt.Println("=== diff ===")
+	fmt.Print(res.Diffs["kernels.c"])
+}

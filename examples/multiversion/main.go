@@ -1,0 +1,45 @@
+// Multiversion: the full lifecycle of ISA-specific function clones from the
+// paper — L2 creates declare-variant clones with fresh identifiers, L3 marks
+// the avx512 clones for specialisation, and L4 later removes obsolete
+// specializations (the bloat-removal rule pair with inherited
+// metavariables).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/codegen"
+	"repro/internal/patchlib"
+)
+
+func main() {
+	// Phase 1: clone kernels as OpenMP declare-variants (L2).
+	kernels := codegen.Kernels(codegen.Config{Funcs: 1, StmtsPerFunc: 1, Seed: 2})
+	l2, _ := patchlib.ByID("L2")
+	res, _, err := l2.RunOn(kernels)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== L2: clone creation ===")
+	fmt.Print(res.Diffs["L2.c"])
+
+	// Phase 2: mark attribute-based avx512 clones (L3).
+	mv := codegen.Multiversion(codegen.Config{Funcs: 1, StmtsPerFunc: 1, Seed: 2})
+	l3, _ := patchlib.ByID("L3")
+	res, _, err = l3.RunOn(mv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== L3: marking avx512 clones ===")
+	fmt.Print(res.Diffs["L3.c"])
+
+	// Phase 3: retire avx512/avx2 specializations (L4).
+	l4, _ := patchlib.ByID("L4")
+	res, _, err = l4.RunOn(mv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== L4: bloat removal ===")
+	fmt.Print(res.Diffs["L4.c"])
+}

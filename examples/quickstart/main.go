@@ -1,0 +1,42 @@
+// Quickstart: parse a semantic patch, apply it to a source string, print the
+// unified diff. The patch renames an API call at the expression level —
+// arguments, however complex, ride along through the `el` expression-list
+// metavariable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sempatch "repro"
+)
+
+const patch = `@rename@
+expression list el;
+@@
+- old_solver_init(el)
++ solver_init_v2(el)
+`
+
+const src = `#include "solver.h"
+
+int setup(struct grid *g, int rank) {
+	old_solver_init(g, rank);
+	old_solver_init(g->coarse, rank % 4);
+	return validate(g);
+}
+`
+
+func main() {
+	p, err := sempatch.ParsePatch("rename.cocci", patch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sempatch.NewApplier(p, sempatch.Options{}).
+		Apply(sempatch.File{Name: "setup.c", Src: src})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rules:", p.Rules(), "matches:", res.MatchCount["rename"])
+	fmt.Print(res.Diffs["setup.c"])
+}

@@ -1,0 +1,55 @@
+// Unroll: the paper's loop re-rolling use case, contrasting the quick rule
+// p0 (L5) with the safe two-step p1+r1 (L6). On a uniformly unrolled loop
+// both collapse it to a single statement under `#pragma omp unroll
+// partial(4)`; on a loop whose four statements differ beyond the index, r1
+// refuses — the property that makes the two-step variant safe.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/codegen"
+	"repro/internal/patchlib"
+)
+
+const nonUniform = `void f(int n, double *s, double *q) {
+	for (int v=0; v+4-1 < n; v+=4)
+	{
+		s[v+0] = q[v+0];
+		s[v+1] = q[v+1] * 2;
+		s[v+2] = q[v+2];
+		s[v+3] = q[v+3];
+	}
+}
+`
+
+func main() {
+	uniform := codegen.Unrolled(codegen.Config{Funcs: 1, StmtsPerFunc: 0, Seed: 5})
+
+	l5, _ := patchlib.ByID("L5")
+	l6, _ := patchlib.ByID("L6")
+
+	res, _, err := l5.RunOn(uniform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== L5 (p0) on a uniformly unrolled loop ===")
+	fmt.Print(res.Diffs["L5.c"])
+
+	res, _, err = l6.RunOn(uniform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== L6 (p1+r1) on the same loop ===")
+	fmt.Print(res.Diffs["L6.c"])
+
+	res, out, err := l6.RunOn(nonUniform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n=== L6 on a NON-uniform loop: r1 matched =", res.Matched["r1"], "===")
+	fmt.Println("(the paper notes p1 alone leaves normalised-but-wrong code;")
+	fmt.Println(" a third undo rule would restore it — r1 correctly refused)")
+	_ = out
+}

@@ -1,0 +1,216 @@
+package accomp
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseDirective(t *testing.T) {
+	d, err := ParseDirective("parallel loop copy(a,b) collapse(2) reduction(+:s)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "parallel loop" {
+		t.Errorf("name=%q", d.Name)
+	}
+	if len(d.Clauses) != 3 {
+		t.Fatalf("clauses=%d: %+v", len(d.Clauses), d.Clauses)
+	}
+	if d.Clauses[0].Name != "copy" || d.Clauses[0].Arg != "a,b" {
+		t.Errorf("clause 0: %+v", d.Clauses[0])
+	}
+	if d.Clauses[2].Arg != "+:s" {
+		t.Errorf("reduction arg=%q", d.Clauses[2].Arg)
+	}
+}
+
+func TestParseMultiWordHeads(t *testing.T) {
+	cases := map[string]string{
+		"enter data copyin(x)": "enter data",
+		"exit data delete(x)":  "exit data",
+		"kernels loop":         "kernels loop",
+		"loop gang vector":     "loop",
+		"serial":               "serial",
+	}
+	for body, want := range cases {
+		d, err := ParseDirective(body)
+		if err != nil {
+			t.Errorf("%q: %v", body, err)
+			continue
+		}
+		if d.Name != want {
+			t.Errorf("%q: head=%q want %q", body, d.Name, want)
+		}
+	}
+}
+
+func TestParseNestedParens(t *testing.T) {
+	d, err := ParseDirective("parallel if(f(a,b) > 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Clauses[0].Arg != "f(a,b) > 0" {
+		t.Errorf("arg=%q", d.Clauses[0].Arg)
+	}
+	if _, err := ParseDirective("parallel if(unbalanced"); err == nil {
+		t.Error("expected error for unbalanced parens")
+	}
+}
+
+func TestTranslateHost(t *testing.T) {
+	cases := map[string]string{
+		"parallel loop":                        "parallel for",
+		"parallel loop copy(a)":                "parallel for map(tofrom: a)",
+		"kernels copyin(x) copyout(y)":         "parallel map(to: x) map(from: y)",
+		"loop vector":                          "for simd",
+		"parallel loop reduction(+:s)":         "parallel for reduction(+:s)",
+		"parallel num_gangs(8)":                "parallel num_teams(8)",
+		"parallel loop collapse(2) private(t)": "parallel for collapse(2) private(t)",
+		"atomic":                               "atomic",
+	}
+	for in, want := range cases {
+		got, _, err := Translate(in, Host)
+		if err != nil {
+			t.Errorf("%q: %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("%q:\n got %q\nwant %q", in, got, want)
+		}
+	}
+}
+
+func TestTranslateOffload(t *testing.T) {
+	got, _, err := Translate("parallel loop copy(a) num_gangs(4)", Offload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "target teams distribute parallel for map(tofrom: a) num_teams(4)"
+	if got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+	got, _, err = Translate("enter data copyin(buf)", Offload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "target enter data map(to: buf)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestTranslateDropped(t *testing.T) {
+	out, warns, err := Translate("data copy(a)", Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "" {
+		t.Errorf("host-mode data should be dropped, got %q", out)
+	}
+	if len(warns) == 0 {
+		t.Error("expected a warning")
+	}
+}
+
+func TestTranslateUnknownDirective(t *testing.T) {
+	if _, _, err := Translate("notadirective", Host); err == nil {
+		t.Error("expected error")
+	}
+}
+
+func TestTranslateSeqIndependentSilent(t *testing.T) {
+	out, warns, err := Translate("loop seq independent", Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "for" {
+		t.Errorf("got %q", out)
+	}
+	if len(warns) != 0 {
+		t.Errorf("seq/independent should drop silently: %+v", warns)
+	}
+}
+
+func TestTranslateSource(t *testing.T) {
+	src := `#include <stdio.h>
+void saxpy(int n, float a, float *x, float *y) {
+#pragma acc parallel loop copy(y[0:n]) copyin(x[0:n])
+	for (int i = 0; i < n; ++i)
+		y[i] = a * x[i] + y[i];
+}
+`
+	out, warns, err := TranslateSource(src, Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(warns) != 0 {
+		t.Errorf("warnings: %+v", warns)
+	}
+	if !strings.Contains(out, "#pragma omp parallel for map(tofrom: y[0:n]) map(to: x[0:n])") {
+		t.Errorf("translation wrong:\n%s", out)
+	}
+	if strings.Contains(out, "acc") {
+		t.Errorf("acc remnants:\n%s", out)
+	}
+	// untouched lines stay identical
+	if !strings.Contains(out, "#include <stdio.h>") || !strings.Contains(out, "y[i] = a * x[i] + y[i];") {
+		t.Errorf("unrelated lines changed:\n%s", out)
+	}
+}
+
+func TestTranslateSourcePreservesIndent(t *testing.T) {
+	src := "void f(){\n\t#pragma acc loop\n\tfor(;;);\n}\n"
+	out, _, err := TranslateSource(src, Host)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "\t#pragma omp for") {
+		t.Errorf("indentation lost:\n%s", out)
+	}
+}
+
+// Property: every generated well-formed directive round-trips through the
+// parser (String -> ParseDirective -> String).
+func TestQuickDirectiveRoundtrip(t *testing.T) {
+	heads := []string{"parallel", "parallel loop", "kernels", "loop", "data", "update"}
+	clauses := []Clause{
+		{Name: "copy", Arg: "a"}, {Name: "copyin", Arg: "b[0:n]"},
+		{Name: "collapse", Arg: "2"}, {Name: "gang"}, {Name: "vector"},
+		{Name: "reduction", Arg: "+:s"},
+	}
+	prop := func(h uint8, picks []uint8) bool {
+		d := Directive{Name: heads[int(h)%len(heads)]}
+		for _, p := range picks {
+			d.Clauses = append(d.Clauses, clauses[int(p)%len(clauses)])
+		}
+		if len(d.Clauses) > 4 {
+			d.Clauses = d.Clauses[:4]
+		}
+		parsed, err := ParseDirective(d.String())
+		if err != nil {
+			return false
+		}
+		return parsed.String() == d.String()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: translation is deterministic.
+func TestQuickTranslateDeterministic(t *testing.T) {
+	bodies := []string{"parallel loop copy(a)", "kernels", "loop vector", "atomic"}
+	prop := func(p uint8, mode bool) bool {
+		b := bodies[int(p)%len(bodies)]
+		m := Host
+		if mode {
+			m = Offload
+		}
+		a1, _, e1 := Translate(b, m)
+		a2, _, e2 := Translate(b, m)
+		return a1 == a2 && (e1 == nil) == (e2 == nil)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

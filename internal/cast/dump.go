@@ -1,0 +1,90 @@
+package cast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dump renders the tree as an indented outline, one node per line, with the
+// node kind and a truncated source excerpt — the debugging view behind
+// `gocci-parse --dump ast`.
+func Dump(f *File) string {
+	var sb strings.Builder
+	depth := 0
+	var spans []int // stack of last-token indices to track dedenting
+	Walk(f, func(n Node) bool {
+		if _, isFile := n.(*File); isFile {
+			return true
+		}
+		first, last := n.Span()
+		for len(spans) > 0 && first > spans[len(spans)-1] {
+			spans = spans[:len(spans)-1]
+			depth--
+		}
+		txt := f.Text(n)
+		if len(txt) > 40 {
+			txt = txt[:37] + "..."
+		}
+		txt = strings.ReplaceAll(txt, "\n", "\\n")
+		fmt.Fprintf(&sb, "%s%s [%d..%d] %s\n",
+			strings.Repeat("  ", depth), nodeKind(n), first, last, txt)
+		spans = append(spans, last)
+		depth++
+		return true
+	})
+	return sb.String()
+}
+
+// nodeKind names a node without the package prefix.
+func nodeKind(n Node) string {
+	s := fmt.Sprintf("%T", n)
+	return strings.TrimPrefix(s, "*cast.")
+}
+
+// Stats summarises a file for tooling output.
+type Stats struct {
+	Decls    int
+	Funcs    int
+	Stmts    int
+	Exprs    int
+	Pragmas  int
+	Includes int
+	MaxDepth int
+}
+
+// Summarize computes node statistics.
+func Summarize(f *File) Stats {
+	var st Stats
+	st.Decls = len(f.Decls)
+	depth := 0
+	var spans []int
+	Walk(f, func(n Node) bool {
+		first, _ := n.Span()
+		for len(spans) > 0 && first > spans[len(spans)-1] {
+			spans = spans[:len(spans)-1]
+			depth--
+		}
+		_, last := n.Span()
+		spans = append(spans, last)
+		depth++
+		if depth > st.MaxDepth {
+			st.MaxDepth = depth
+		}
+		switch n.(type) {
+		case *FuncDef:
+			st.Funcs++
+		case *Pragma:
+			st.Pragmas++
+		case *Include:
+			st.Includes++
+		}
+		if _, ok := n.(Stmt); ok {
+			st.Stmts++
+		}
+		if _, ok := n.(Expr); ok {
+			st.Exprs++
+		}
+		return true
+	})
+	return st
+}

@@ -1,0 +1,62 @@
+package cast_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cast"
+)
+
+func TestDumpOutline(t *testing.T) {
+	f := parse(t, "void f(int n){ if (n) g(n + 1); }")
+	d := cast.Dump(f)
+	for _, w := range []string{"FuncDef", "If", "CallExpr", "BinaryExpr"} {
+		if !strings.Contains(d, w) {
+			t.Errorf("dump missing %s:\n%s", w, d)
+		}
+	}
+	// indentation: If is deeper than FuncDef
+	lines := strings.Split(d, "\n")
+	var fdIndent, ifIndent int
+	for _, l := range lines {
+		if strings.Contains(l, "FuncDef") {
+			fdIndent = indentOf(l)
+		}
+		if strings.Contains(l, "If ") {
+			ifIndent = indentOf(l)
+		}
+	}
+	if ifIndent <= fdIndent {
+		t.Errorf("If not nested under FuncDef:\n%s", d)
+	}
+}
+
+func indentOf(l string) int {
+	return len(l) - len(strings.TrimLeft(l, " "))
+}
+
+func TestDumpTruncatesLongText(t *testing.T) {
+	f := parse(t, "void f(void){ really_long_call(aaaaaaaaaa, bbbbbbbbbb, cccccccccc, dddddddddd); }")
+	d := cast.Dump(f)
+	if !strings.Contains(d, "...") {
+		t.Errorf("long text not truncated:\n%s", d)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	f := parse(t, `#include <omp.h>
+#pragma omp declare simd
+void f(int n){ for (int i=0;i<n;++i) work(i); }
+void g(void){ }
+`)
+	st := cast.Summarize(f)
+	if st.Funcs != 2 {
+		t.Errorf("funcs=%d", st.Funcs)
+	}
+	if st.Includes != 1 || st.Pragmas != 1 {
+		t.Errorf("includes=%d pragmas=%d", st.Includes, st.Pragmas)
+	}
+	if st.Stmts == 0 || st.Exprs == 0 || st.MaxDepth < 3 {
+		t.Errorf("stats: %+v", st)
+	}
+}

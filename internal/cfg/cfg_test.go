@@ -1,0 +1,190 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cast"
+	"repro/internal/cparse"
+)
+
+func buildFor(t *testing.T, src string) (*cast.File, *Graph) {
+	t.Helper()
+	f, err := cparse.Parse("t.c", src, cparse.Options{})
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	funcs := f.Funcs()
+	if len(funcs) == 0 {
+		t.Fatal("no function")
+	}
+	return f, Build(funcs[0])
+}
+
+func nodeTexts(f *cast.File, g *Graph) []string {
+	var out []string
+	for _, n := range g.StmtNodes() {
+		out = append(out, f.Text(n.AST))
+	}
+	return out
+}
+
+func TestLinearFlow(t *testing.T) {
+	f, g := buildFor(t, "void f(){ a(); b(); c(); }")
+	texts := nodeTexts(f, g)
+	if strings.Join(texts, "|") != "a();|b();|c();" {
+		t.Errorf("nodes: %v", texts)
+	}
+	// entry -> a -> b -> c -> exit
+	if !g.Reachable(g.EntryID, g.ExitID, nil) {
+		t.Error("exit unreachable")
+	}
+}
+
+// findStmt returns the id of the first Stmt-kind node whose text contains
+// sub. Branch nodes are deliberately excluded: their AST spans the whole
+// conditional, so a text search would match them spuriously.
+func findStmt(f *cast.File, g *Graph, sub string) int {
+	for _, n := range g.Nodes {
+		if n.Kind == Stmt && n.AST != nil && strings.Contains(f.Text(n.AST), sub) {
+			return n.ID
+		}
+	}
+	return -1
+}
+
+func TestIfElseFlow(t *testing.T) {
+	f, g := buildFor(t, "void f(int x){ if (x) a(); else b(); c(); }")
+	aID, bID, cID := findStmt(f, g, "a()"), findStmt(f, g, "b()"), findStmt(f, g, "c()")
+	if aID < 0 || bID < 0 || cID < 0 {
+		t.Fatal("missing nodes")
+	}
+	if !g.Reachable(aID, cID, nil) || !g.Reachable(bID, cID, nil) {
+		t.Error("branches do not merge")
+	}
+	if g.Reachable(aID, bID, nil) {
+		t.Error("then-branch should not reach else-branch")
+	}
+}
+
+func TestLoopBackEdge(t *testing.T) {
+	f, g := buildFor(t, "void f(int n){ for (int i=0;i<n;++i) { work(i); } done(); }")
+	workID := findStmt(f, g, "work")
+	headID := -1
+	for _, n := range g.Nodes {
+		if n.Kind == Branch {
+			headID = n.ID
+		}
+	}
+	if workID < 0 || headID < 0 {
+		t.Fatal("missing loop nodes")
+	}
+	if !g.Reachable(workID, headID, nil) {
+		t.Error("no back edge from body to loop head")
+	}
+	if !g.Reachable(workID, workID, nil) {
+		t.Error("loop body cannot re-reach itself via the back edge")
+	}
+}
+
+func TestReturnCutsFlow(t *testing.T) {
+	f, g := buildFor(t, "void f(int x){ if (x) return; tail(); }")
+	retID, tailID := findStmt(f, g, "return"), findStmt(f, g, "tail")
+	if retID < 0 || tailID < 0 {
+		t.Fatal("nodes missing")
+	}
+	if g.Reachable(retID, tailID, nil) {
+		t.Error("return must not fall through to tail()")
+	}
+	if !g.Reachable(retID, g.ExitID, nil) {
+		t.Error("return must reach exit")
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	f, g := buildFor(t, `void f(int n){
+	while (n) {
+		if (n == 1) break;
+		if (n == 2) continue;
+		n--;
+	}
+	after();
+}`)
+	brkID, afterID, decID := findStmt(f, g, "break;"), findStmt(f, g, "after"), findStmt(f, g, "n--;")
+	if brkID < 0 || afterID < 0 || decID < 0 {
+		t.Fatal("nodes missing")
+	}
+	if !g.Reachable(brkID, afterID, nil) {
+		t.Error("break must reach loop exit")
+	}
+	// break must not continue into the loop body remainder
+	if g.Reachable(brkID, decID, nil) {
+		t.Error("break must not reach rest of loop body")
+	}
+}
+
+func TestGotoAndLabel(t *testing.T) {
+	f, g := buildFor(t, "void f(){ goto out; mid(); out: end(); }")
+	gotoID, midID, endID := findStmt(f, g, "goto"), findStmt(f, g, "mid"), findStmt(f, g, "end")
+	if gotoID < 0 || midID < 0 || endID < 0 {
+		t.Fatal("nodes missing")
+	}
+	if !g.Reachable(gotoID, endID, nil) {
+		t.Error("goto must reach label")
+	}
+	if g.Reachable(gotoID, midID, nil) {
+		t.Error("goto must not fall through")
+	}
+}
+
+func TestReachableWithExclusion(t *testing.T) {
+	f, g := buildFor(t, "void f(int x){ a(); if (x) b(); else c(); d(); }")
+	aID, dID := findStmt(f, g, "a()"), findStmt(f, g, "d()")
+	// Exclusions must test Stmt nodes only; a Branch node's AST spans the
+	// whole conditional and would match any branch text.
+	noB := func(n *Node) bool {
+		return n.Kind == Stmt && n.AST != nil && strings.Contains(f.Text(n.AST), "b()")
+	}
+	if !g.Reachable(aID, dID, noB) {
+		t.Error("should reach d() avoiding b() via else branch")
+	}
+	noBC := func(n *Node) bool {
+		return n.Kind == Stmt && n.AST != nil &&
+			(strings.Contains(f.Text(n.AST), "b()") || strings.Contains(f.Text(n.AST), "c()"))
+	}
+	if g.Reachable(aID, dID, noBC) {
+		t.Error("both branches excluded, d() should be unreachable")
+	}
+}
+
+func TestSwitchFlow(t *testing.T) {
+	f, g := buildFor(t, `void f(int x){
+	switch (x) {
+	case 1: one(); break;
+	case 2: two();
+	default: dflt();
+	}
+	end();
+}`)
+	one, two, dflt, end := findStmt(f, g, "one"), findStmt(f, g, "two"), findStmt(f, g, "dflt"), findStmt(f, g, "end()")
+	if one < 0 || two < 0 || dflt < 0 || end < 0 {
+		t.Fatal("nodes missing")
+	}
+	if !g.Reachable(one, end, nil) {
+		t.Error("case 1 must reach end")
+	}
+	if !g.Reachable(two, dflt, nil) {
+		t.Error("case 2 must fall through to default")
+	}
+	if g.Reachable(one, two, nil) {
+		t.Error("break must prevent fallthrough from case 1")
+	}
+}
+
+func TestDotOutput(t *testing.T) {
+	f, g := buildFor(t, "void f(){ a(); }")
+	dot := g.Dot(f)
+	if !strings.Contains(dot, "digraph cfg") || !strings.Contains(dot, "a()") {
+		t.Errorf("dot output missing content:\n%s", dot)
+	}
+}

@@ -1,0 +1,297 @@
+// Package codegen generates synthetic C/C++ sources with the code shapes the
+// paper's semantic patches target: OpenMP-annotated loops, 4x-unrolled
+// loops, CUDA API usage and kernel launches, AoS structure accesses,
+// OpenACC directives, raw search loops, multiversioned function clones, and
+// librsb-style kernel families. It stands in for the GADGET and Linux-scale
+// codebases of the paper's evaluation context: the generator is seeded and
+// parametric, so benchmarks can sweep file sizes deterministically.
+package codegen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config parameterizes generation.
+type Config struct {
+	// Funcs is the number of functions per file.
+	Funcs int
+	// StmtsPerFunc controls body size.
+	StmtsPerFunc int
+	// Seed makes output deterministic.
+	Seed int64
+}
+
+func (c Config) rng() *rand.Rand {
+	return rand.New(rand.NewSource(c.Seed))
+}
+
+func (c Config) norm() Config {
+	if c.Funcs <= 0 {
+		c.Funcs = 4
+	}
+	if c.StmtsPerFunc <= 0 {
+		c.StmtsPerFunc = 4
+	}
+	return c
+}
+
+// OpenMP generates a file of numeric kernels, each with an OpenMP pragma
+// block (the L1 instrumentation workload).
+func OpenMP(cfg Config) string {
+	cfg = cfg.norm()
+	r := cfg.rng()
+	var sb strings.Builder
+	sb.WriteString("#include <omp.h>\n#include <math.h>\n\n")
+	for f := 0; f < cfg.Funcs; f++ {
+		fmt.Fprintf(&sb, "void kernel_%d(int n, double *a, double *b) {\n", f)
+		sb.WriteString("#pragma omp parallel for\n")
+		sb.WriteString("{\n")
+		for s := 0; s < cfg.StmtsPerFunc; s++ {
+			op := []string{"+", "-", "*"}[r.Intn(3)]
+			fmt.Fprintf(&sb, "\tfor (int i = 0; i < n; ++i) a[i] = b[i] %s %d.5;\n", op, r.Intn(9))
+		}
+		sb.WriteString("}\n}\n\n")
+	}
+	return sb.String()
+}
+
+// Unrolled generates functions whose loops are manually unrolled by four
+// (the L5/L6 workload). Each function holds one unrolled loop plus filler.
+func Unrolled(cfg Config) string {
+	cfg = cfg.norm()
+	r := cfg.rng()
+	var sb strings.Builder
+	sb.WriteString("/* generated: manually 4x-unrolled kernels */\n\n")
+	for f := 0; f < cfg.Funcs; f++ {
+		fmt.Fprintf(&sb, "void unrolled_%d(int n, double *s, double *q) {\n", f)
+		fmt.Fprintf(&sb, "\tfor (int v%d=0; v%d+4-1 < n; v%d+=4)\n", f, f, f)
+		sb.WriteString("\t{\n")
+		c := r.Intn(5) + 1
+		for u := 0; u < 4; u++ {
+			fmt.Fprintf(&sb, "\t\ts[v%d+%d] = q[v%d+%d] * %d;\n", f, u, f, u, c)
+		}
+		sb.WriteString("\t}\n")
+		for s := 0; s < cfg.StmtsPerFunc; s++ {
+			fmt.Fprintf(&sb, "\tq[%d] = s[%d];\n", s, s)
+		}
+		sb.WriteString("}\n\n")
+	}
+	return sb.String()
+}
+
+// CUDA generates CUDA runtime usage and kernel launches (the L8/L9/L10
+// hipify workload).
+func CUDA(cfg Config) string {
+	cfg = cfg.norm()
+	r := cfg.rng()
+	var sb strings.Builder
+	sb.WriteString("#include <cuda_runtime.h>\n#include <curand_kernel.h>\n\n")
+	for f := 0; f < cfg.Funcs; f++ {
+		fmt.Fprintf(&sb, "__global__ void dev_kernel_%d(int n, double *a) {\n", f)
+		sb.WriteString("\tint i = blockIdx.x * blockDim.x + threadIdx.x;\n")
+		fmt.Fprintf(&sb, "\tif (i < n) a[i] = a[i] * %d.0;\n", r.Intn(7)+1)
+		sb.WriteString("}\n\n")
+		fmt.Fprintf(&sb, "int host_driver_%d(int n, double *h_a) {\n", f)
+		sb.WriteString("\tdouble *d_a;\n")
+		sb.WriteString("\tcudaError_t err = cudaMalloc(&d_a, n * sizeof(double));\n")
+		sb.WriteString("\tif (err != cudaSuccess) return 1;\n")
+		sb.WriteString("\tcudaStream_t stream;\n\tcudaStreamCreate(&stream);\n")
+		sb.WriteString("\tcudaMemcpyAsync(d_a, h_a, n * sizeof(double), cudaMemcpyHostToDevice, stream);\n")
+		for s := 0; s < cfg.StmtsPerFunc; s++ {
+			fmt.Fprintf(&sb, "\tdev_kernel_%d<<<gridOf(n), %d, 0, stream>>>(n, d_a);\n", f, 64*(r.Intn(4)+1))
+		}
+		sb.WriteString("\tcudaMemcpy(h_a, d_a, n * sizeof(double), cudaMemcpyDeviceToHost);\n")
+		sb.WriteString("\tcudaStreamSynchronize(stream);\n")
+		sb.WriteString("\tcudaStreamDestroy(stream);\n\tcudaFree(d_a);\n\treturn 0;\n}\n\n")
+	}
+	return sb.String()
+}
+
+// Curand generates double-precision RNG calls and __half declarations, the
+// exact shapes of the paper's L8/L9 dictionary listings.
+func Curand(cfg Config) string {
+	cfg = cfg.norm()
+	var sb strings.Builder
+	sb.WriteString("#include <curand_kernel.h>\n#include <cuda_fp16.h>\n\n")
+	for f := 0; f < cfg.Funcs; f++ {
+		fmt.Fprintf(&sb, "double sample_%d(void *gen) {\n", f)
+		sb.WriteString("\t__half h;\n")
+		sb.WriteString("\tdouble d = curand_uniform_double(gen);\n")
+		for s := 0; s < cfg.StmtsPerFunc; s++ {
+			fmt.Fprintf(&sb, "\td = d + curand_uniform_double(gen) * %d.0;\n", s+1)
+		}
+		sb.WriteString("\treturn d;\n}\n\n")
+	}
+	return sb.String()
+}
+
+// OpenACC generates acc-annotated loops (the L11 workload).
+func OpenACC(cfg Config) string {
+	cfg = cfg.norm()
+	r := cfg.rng()
+	var sb strings.Builder
+	directives := []string{
+		"parallel loop copy(a[0:n])",
+		"parallel loop copyin(b[0:n]) copyout(a[0:n])",
+		"kernels copy(a[0:n])",
+		"parallel loop reduction(+:s) collapse(2)",
+	}
+	for f := 0; f < cfg.Funcs; f++ {
+		fmt.Fprintf(&sb, "void acc_kernel_%d(int n, double *a, double *b) {\n", f)
+		fmt.Fprintf(&sb, "#pragma acc %s\n", directives[r.Intn(len(directives))])
+		sb.WriteString("\tfor (int i = 0; i < n; ++i)\n\t\ta[i] = b[i] + a[i];\n")
+		for s := 0; s < cfg.StmtsPerFunc; s++ {
+			fmt.Fprintf(&sb, "\tb[%d] = a[%d];\n", s, s)
+		}
+		sb.WriteString("}\n\n")
+	}
+	return sb.String()
+}
+
+// SearchLoops generates raw find-loops over C++ ranges (the L12 workload).
+func SearchLoops(cfg Config) string {
+	cfg = cfg.norm()
+	r := cfg.rng()
+	var sb strings.Builder
+	sb.WriteString("#include <iostream>\n\n")
+	for f := 0; f < cfg.Funcs; f++ {
+		k := r.Intn(90) + 10
+		fmt.Fprintf(&sb, "bool contains_%d(float *vals) {\n", f)
+		sb.WriteString("\tbool found = false;\n")
+		fmt.Fprintf(&sb, "\tprep_%d();\n", f)
+		fmt.Fprintf(&sb, "\tfor ( float &e : vals )\n\t\tif ( e == %d )\n\t\t{\n", k)
+		sb.WriteString("\t\t\tfound = true;\n\t\t\tbreak;\n\t\t}\n")
+		sb.WriteString("\treturn found;\n}\n\n")
+	}
+	return sb.String()
+}
+
+// Multiversion generates __attribute__((target(...))) clone families (the
+// L3/L4 workload): per base function one avx512, one avx2, and one default
+// clone.
+func Multiversion(cfg Config) string {
+	cfg = cfg.norm()
+	var sb strings.Builder
+	for f := 0; f < cfg.Funcs; f++ {
+		for _, isa := range []string{"avx512", "avx2", "default"} {
+			fmt.Fprintf(&sb, "__attribute__((target(\"%s\")))\n", isa)
+			fmt.Fprintf(&sb, "void spmv_%d(int n, double *a) {\n", f)
+			for s := 0; s < cfg.StmtsPerFunc; s++ {
+				fmt.Fprintf(&sb, "\ta[%d] = a[%d] * 2.0;\n", s, s+1)
+			}
+			sb.WriteString("}\n")
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Librsb generates a function family following librsb's naming convention
+// (the L14 workload): a few affected kernels among many unaffected ones.
+func Librsb(cfg Config) string {
+	cfg = cfg.norm()
+	var sb strings.Builder
+	for f := 0; f < cfg.Funcs; f++ {
+		// every third function is one of the affected conjugate kernels
+		if f%3 == 0 {
+			fmt.Fprintf(&sb,
+				"int rsb__BCSR_spmv_sasa_double_complex_C__tN_r1_c1_uu_sH_dE_uG_%d(const void *a) {\n", f)
+		} else {
+			fmt.Fprintf(&sb, "int rsb__BCSR_spmv_other_kernel_%d(const void *a) {\n", f)
+		}
+		for s := 0; s < cfg.StmtsPerFunc; s++ {
+			fmt.Fprintf(&sb, "\tacc_%d(a);\n", s)
+		}
+		sb.WriteString("\treturn 0;\n}\n\n")
+	}
+	return sb.String()
+}
+
+// AoS generates array-of-structures particle code (the [ML21] GADGET-style
+// workload for the AoS-to-SoA case study).
+func AoS(cfg Config) string {
+	cfg = cfg.norm()
+	r := cfg.rng()
+	fields := []string{"px", "py", "pz", "vx", "vy", "vz", "mass"}
+	var sb strings.Builder
+	sb.WriteString("struct particle { double px, py, pz, vx, vy, vz, mass; };\n")
+	sb.WriteString("struct particle P[1024];\n\n")
+	for f := 0; f < cfg.Funcs; f++ {
+		fmt.Fprintf(&sb, "void step_%d(int n, double dt) {\n", f)
+		sb.WriteString("\tfor (int i = 0; i < n; ++i) {\n")
+		for s := 0; s < cfg.StmtsPerFunc; s++ {
+			a := fields[r.Intn(3)]
+			b := fields[3+r.Intn(3)]
+			fmt.Fprintf(&sb, "\t\tP[i].%s = P[i].%s + dt * P[i].%s;\n", a, a, b)
+		}
+		sb.WriteString("\t}\n}\n\n")
+	}
+	return sb.String()
+}
+
+// Kernels generates plain compute kernels whose names match "kernel" (the
+// L2 declare-variant workload).
+func Kernels(cfg Config) string {
+	cfg = cfg.norm()
+	var sb strings.Builder
+	for f := 0; f < cfg.Funcs; f++ {
+		fmt.Fprintf(&sb, "double kernel_fma_%d(int n, double *x, double *y) {\n", f)
+		sb.WriteString("\tdouble s = 0;\n")
+		for s := 0; s < cfg.StmtsPerFunc; s++ {
+			fmt.Fprintf(&sb, "\ts = s + x[%d] * y[%d];\n", s, s)
+		}
+		sb.WriteString("\treturn s;\n}\n\n")
+		fmt.Fprintf(&sb, "void helper_%d(void) { }\n\n", f)
+	}
+	return sb.String()
+}
+
+// NestedIndex generates triple-subscript expressions on an array named a
+// (the L7 multi-index workload).
+func NestedIndex(cfg Config) string {
+	cfg = cfg.norm()
+	r := cfg.rng()
+	var sb strings.Builder
+	for f := 0; f < cfg.Funcs; f++ {
+		fmt.Fprintf(&sb, "void stencil_%d(double ***a, int nx, int ny, int nz) {\n", f)
+		sb.WriteString("\tfor (int i = 1; i < nx; ++i)\n")
+		sb.WriteString("\t\tfor (int j = 1; j < ny; ++j)\n")
+		sb.WriteString("\t\t\tfor (int k = 1; k < nz; ++k)\n")
+		for s := 0; s < cfg.StmtsPerFunc; s++ {
+			d := r.Intn(2)
+			fmt.Fprintf(&sb, "\t\t\t\ta[i][j][k] = a[i-%d][j][k] + a[i][j-%d][k];\n", d, 1-d)
+		}
+		sb.WriteString("}\n\n")
+	}
+	return sb.String()
+}
+
+// Mixed concatenates a slice of every workload for whole-project scans.
+func Mixed(cfg Config) string {
+	cfg = cfg.norm()
+	small := Config{Funcs: (cfg.Funcs + 3) / 4, StmtsPerFunc: cfg.StmtsPerFunc, Seed: cfg.Seed}
+	var sb strings.Builder
+	sb.WriteString(OpenMP(small))
+	sb.WriteString(Unrolled(small))
+	sb.WriteString(Kernels(small))
+	sb.WriteString(AoS(small))
+	return sb.String()
+}
+
+// Shapes lists the named generators for CLI and bench sweeps.
+var Shapes = map[string]func(Config) string{
+	"openmp":       OpenMP,
+	"unrolled":     Unrolled,
+	"cuda":         CUDA,
+	"curand":       Curand,
+	"openacc":      OpenACC,
+	"search":       SearchLoops,
+	"multiversion": Multiversion,
+	"librsb":       Librsb,
+	"aos":          AoS,
+	"kernels":      Kernels,
+	"nested":       NestedIndex,
+	"mixed":        Mixed,
+}

@@ -1,0 +1,471 @@
+// Package core implements the semantic patch engine: it runs the rules of a
+// parsed SmPL patch, in order, over a set of C/C++ source files. Match rules
+// bind metavariables and record token edits; script rules transform bindings
+// through the restricted Python interpreter or registered Go functions;
+// environments flow from rule to rule exactly as in Coccinelle, keyed by
+// rule-qualified metavariable names. Edited files are re-parsed lazily,
+// just before the next match rule runs, so later rules match the patched
+// code and a final rule's output never has to re-parse at all.
+package core
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strings"
+
+	"repro/internal/cast"
+	"repro/internal/cparse"
+	"repro/internal/diff"
+	"repro/internal/match"
+	"repro/internal/minipy"
+	"repro/internal/smpl"
+	"repro/internal/transform"
+)
+
+// Options configures an engine run.
+type Options struct {
+	CPlusPlus bool
+	Std       int // 11, 17, 23
+	CUDA      bool
+	// UseCTL enables control-flow (CTL) verification of dots constraints in
+	// addition to the syntactic check.
+	UseCTL bool
+	// MaxEnvs caps the environment set size (default 4096).
+	MaxEnvs int
+	// MaxMatchesPerRule caps matches per rule per file (default unlimited).
+	MaxMatchesPerRule int
+	// Defines sets virtual dependency names to true (spatch -D). Names not
+	// declared `virtual` in the patch are rejected at Run time.
+	Defines []string
+}
+
+// SourceFile is one input file.
+type SourceFile struct {
+	Name string
+	Src  string
+}
+
+// ScriptFunc is a native Go replacement for a script rule body: it receives
+// the rule's input bindings and returns its output bindings.
+type ScriptFunc func(inputs map[string]string) (map[string]string, error)
+
+// Result reports the outcome of a run.
+type Result struct {
+	// Outputs maps file name to transformed source (always present, equal
+	// to the input when nothing matched).
+	Outputs map[string]string
+	// Diffs maps file name to a unified diff ("" when unchanged).
+	Diffs map[string]string
+	// Matched reports which rules matched at least once.
+	Matched map[string]bool
+	// MatchCount counts matches per rule.
+	MatchCount map[string]int
+	// EnvCount is the number of final environments.
+	EnvCount int
+}
+
+// Changed lists the names of files whose output differs from the input.
+func (r *Result) Changed() []string {
+	var out []string
+	for name, d := range r.Diffs {
+		if d != "" {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Engine applies one patch to source files.
+type Engine struct {
+	patch  *smpl.Patch
+	opts   Options
+	interp *minipy.Interp
+	hosts  map[string]ScriptFunc
+	fresh  map[string]int
+}
+
+// New creates an engine for a parsed patch.
+func New(patch *smpl.Patch, opts Options) *Engine {
+	if opts.MaxEnvs == 0 {
+		opts.MaxEnvs = 4096
+	}
+	return &Engine{
+		patch:  patch,
+		opts:   opts,
+		interp: minipy.New(),
+		hosts:  map[string]ScriptFunc{},
+		fresh:  map[string]int{},
+	}
+}
+
+// RegisterScript installs a native Go handler for the named script rule,
+// overriding the Python interpreter for that rule.
+func (e *Engine) RegisterScript(ruleName string, fn ScriptFunc) {
+	e.hosts[ruleName] = fn
+}
+
+// fileState tracks one file through the run.
+type fileState struct {
+	name  string
+	src   string
+	file  *cast.File
+	ed    *transform.EditSet
+	dirty bool
+}
+
+func (e *Engine) parseOpts() cparse.Options {
+	return cparse.Options{CPlusPlus: e.opts.CPlusPlus, Std: e.opts.Std, CUDA: e.opts.CUDA}
+}
+
+// Run applies the patch to the files.
+func (e *Engine) Run(files []SourceFile) (*Result, error) {
+	states := make([]*fileState, 0, len(files))
+	for _, f := range files {
+		cf, err := cparse.Parse(f.Name, f.Src, e.parseOpts())
+		if err != nil {
+			return nil, fmt.Errorf("parsing %s: %w", f.Name, err)
+		}
+		states = append(states, &fileState{name: f.Name, src: f.Src, file: cf, ed: transform.NewEditSet(cf.Toks)})
+	}
+
+	res := &Result{
+		Outputs:    map[string]string{},
+		Diffs:      map[string]string{},
+		Matched:    map[string]bool{},
+		MatchCount: map[string]int{},
+	}
+	// Virtual rules: dependency atoms set by the caller.
+	declared := map[string]bool{}
+	for _, v := range e.patch.Virtuals {
+		declared[v] = true
+	}
+	for _, d := range e.opts.Defines {
+		if !declared[d] {
+			return nil, fmt.Errorf("define %q is not declared virtual in %s", d, e.patch.Name)
+		}
+		res.Matched[d] = true
+	}
+	envs := []match.Env{{}}
+
+	var finalizers []*smpl.Rule
+	for _, rule := range e.patch.Rules {
+		if rule.Kind == smpl.FinalizeRule {
+			finalizers = append(finalizers, rule)
+			continue
+		}
+		if !rule.Depends.Eval(res.Matched) {
+			continue
+		}
+		var err error
+		switch rule.Kind {
+		case smpl.InitializeRule:
+			err = e.runInit(rule)
+		case smpl.ScriptRule:
+			envs, err = e.runScript(rule, envs, res)
+		case smpl.MatchRule:
+			envs, err = e.runMatch(rule, envs, states, res)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(envs) > e.opts.MaxEnvs {
+			envs = envs[:e.opts.MaxEnvs]
+		}
+	}
+	for _, rule := range finalizers {
+		if err := e.runInit(rule); err != nil {
+			return nil, err
+		}
+	}
+
+	for _, st := range states {
+		if st.dirty {
+			st.src = st.ed.Apply()
+		}
+		res.Outputs[st.name] = st.src
+	}
+	for _, f := range files {
+		res.Diffs[f.Name] = diff.Unified("a/"+f.Name, "b/"+f.Name, f.Src, res.Outputs[f.Name])
+	}
+	res.EnvCount = len(envs)
+	return res, nil
+}
+
+// runInit executes an initialize/finalize rule once.
+func (e *Engine) runInit(rule *smpl.Rule) error {
+	if fn, ok := e.hosts[rule.Name]; ok {
+		_, err := fn(nil)
+		return err
+	}
+	_, err := e.interp.Exec(rule.Code, nil)
+	if err != nil {
+		return fmt.Errorf("rule %s: %w", rule.Name, err)
+	}
+	return nil
+}
+
+// runScript executes a script rule for every environment that can supply its
+// inputs.
+func (e *Engine) runScript(rule *smpl.Rule, envs []match.Env, res *Result) ([]match.Env, error) {
+	var out []match.Env
+	for _, env := range envs {
+		locals := map[string]string{}
+		missing := false
+		for _, in := range rule.Inputs {
+			b, ok := env[in.Rule+"."+in.Remote]
+			if !ok {
+				missing = true
+				break
+			}
+			locals[in.Local] = b.Text
+		}
+		if missing {
+			out = append(out, env)
+			continue
+		}
+		outputs, err := e.execScript(rule, locals)
+		if err != nil {
+			if _, isKey := err.(*minipy.KeyError); isKey {
+				// Python-side KeyError: this environment does not apply.
+				out = append(out, env)
+				continue
+			}
+			return nil, fmt.Errorf("script rule %s: %w", rule.Name, err)
+		}
+		next := env.Clone()
+		for name, val := range outputs {
+			next[rule.Name+"."+name] = val
+		}
+		res.Matched[rule.Name] = true
+		res.MatchCount[rule.Name]++
+		out = append(out, next)
+	}
+	return dedupEnvs(out), nil
+}
+
+func (e *Engine) execScript(rule *smpl.Rule, locals map[string]string) (map[string]match.Binding, error) {
+	if fn, ok := e.hosts[rule.Name]; ok {
+		raw, err := fn(locals)
+		if err != nil {
+			return nil, err
+		}
+		out := map[string]match.Binding{}
+		for k, v := range raw {
+			out[k] = match.NewValueBinding(cast.MetaIdentKind, v)
+		}
+		return out, nil
+	}
+	vals, err := e.interp.Exec(rule.Code, locals)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]match.Binding{}
+	for k, v := range vals {
+		kind := cast.MetaIdentKind
+		switch v.Tag {
+		case "type":
+			kind = cast.MetaTypeKind
+		case "pragmainfo":
+			kind = cast.MetaPragmaInfoKind
+		case "expr":
+			kind = cast.MetaExprKind
+		}
+		out[k] = match.NewValueBinding(kind, v.Str)
+	}
+	return out, nil
+}
+
+// runMatch executes a match rule over all files for every environment.
+func (e *Engine) runMatch(rule *smpl.Rule, envs []match.Env, states []*fileState, res *Result) ([]match.Env, error) {
+	// Earlier rules may have edited files; refresh parses lazily, here,
+	// rather than eagerly after each transformation — so a final rule's
+	// output never needs to re-parse at all (it may use constructs beyond
+	// our C++ subset, e.g. injected library macros).
+	if err := e.reparse(states); err != nil {
+		return nil, err
+	}
+	metas := smpl.NewMetaTable(rule.Metas)
+	// Names this rule inherits: local -> qualified key.
+	inherits := map[string]string{}
+	for _, md := range rule.Metas {
+		if md.FromRule != "" {
+			inherits[md.Name] = md.FromRule + "." + md.RemoteName
+		}
+	}
+
+	var out []match.Env
+	anyMatch := false
+
+	for _, env := range envs {
+		inherited := match.Env{}
+		missing := false
+		for local, qual := range inherits {
+			b, ok := env[qual]
+			if !ok {
+				missing = true
+				break
+			}
+			inherited[local] = b
+		}
+		if missing {
+			out = append(out, env)
+			continue
+		}
+
+		envMatched := false
+		for _, st := range states {
+			m := &match.Matcher{
+				Pat:        rule.Pattern,
+				Metas:      metas,
+				Code:       st.file,
+				Inherited:  inherited,
+				MaxMatches: e.opts.MaxMatchesPerRule,
+			}
+			for _, mt := range m.FindAll() {
+				if e.opts.UseCTL && !e.verifyCTL(st, rule, &mt) {
+					continue
+				}
+				// Inherited bindings participate in plus-line substitution
+				// and are re-exported alongside this rule's own bindings.
+				merged := mt.Env.Clone()
+				for name, b := range inherited {
+					if _, bound := merged[name]; !bound {
+						merged[name] = b
+					}
+				}
+				localEnv := e.withFresh(rule, merged)
+				if rule.Pattern.HasTransform {
+					if !e.applyMatch(st, rule.Pattern, &mt, localEnv) {
+						continue // overlapping edit: skip this match
+					}
+					st.dirty = true
+				}
+				envMatched = true
+				anyMatch = true
+				res.MatchCount[rule.Name]++
+				next := env.Clone()
+				for name, b := range localEnv {
+					next[rule.Name+"."+name] = b
+				}
+				out = append(out, next)
+				if len(out) > e.opts.MaxEnvs {
+					break
+				}
+			}
+		}
+		if !envMatched {
+			out = append(out, env)
+		}
+	}
+	if anyMatch {
+		res.Matched[rule.Name] = true
+	}
+	// Edits stay pending in the EditSet until the next match rule forces a
+	// re-parse or the final render applies them.
+	return dedupEnvs(out), nil
+}
+
+// withFresh extends a match environment with this rule's fresh identifiers.
+func (e *Engine) withFresh(rule *smpl.Rule, env match.Env) match.Env {
+	out := env.Clone()
+	for _, md := range rule.Metas {
+		if md.Kind != cast.MetaFreshIdentKind || len(md.Fresh) == 0 {
+			continue
+		}
+		var sb strings.Builder
+		for _, part := range md.Fresh {
+			if part.Lit != "" {
+				sb.WriteString(part.Lit)
+			} else if b, ok := out[part.Ref]; ok {
+				sb.WriteString(b.Text)
+			}
+		}
+		name := sb.String()
+		if n := e.fresh[name]; n > 0 {
+			e.fresh[name] = n + 1
+			name = fmt.Sprintf("%s_%d", name, n)
+		} else {
+			e.fresh[name] = 1
+		}
+		out[md.Name] = match.NewValueBinding(cast.MetaFreshIdentKind, name)
+	}
+	return out
+}
+
+// reparse refreshes dirty files so subsequent rules see transformed code.
+func (e *Engine) reparse(states []*fileState) error {
+	for _, st := range states {
+		if !st.dirty {
+			continue
+		}
+		newSrc := st.ed.Apply()
+		cf, err := cparse.Parse(st.name, newSrc, e.parseOpts())
+		if err != nil {
+			return fmt.Errorf("reparsing %s after transformation: %w\nsource:\n%s", st.name, err, newSrc)
+		}
+		st.src = newSrc
+		st.file = cf
+		st.ed = transform.NewEditSet(cf.Toks)
+		st.dirty = false
+	}
+	return nil
+}
+
+// dedupEnvs removes exact duplicate environments.
+func dedupEnvs(envs []match.Env) []match.Env {
+	seen := map[string]bool{}
+	var out []match.Env
+	for _, env := range envs {
+		key := envKey(env)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, env)
+	}
+	return out
+}
+
+func envKey(env match.Env) string {
+	keys := make([]string, 0, len(env))
+	for k := range env {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(env[k].Norm)
+		sb.WriteByte(';')
+	}
+	return sb.String()
+}
+
+// substitute replaces metavariable references in plus-line text with their
+// bound values in a single pass, so substituted values are never themselves
+// rewritten (e.g. an expression-list value containing variable names that
+// collide with other metavariables).
+func substitute(text string, env match.Env) string {
+	names := make([]string, 0, len(env))
+	for n := range env {
+		if strings.Contains(n, ".") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return text
+	}
+	sort.Slice(names, func(i, j int) bool { return len(names[i]) > len(names[j]) })
+	quoted := make([]string, len(names))
+	for i, n := range names {
+		quoted[i] = regexp.QuoteMeta(n)
+	}
+	re := regexp.MustCompile(`\b(` + strings.Join(quoted, "|") + `)\b`)
+	return re.ReplaceAllStringFunc(text, func(name string) string {
+		return env[name].Text
+	})
+}

@@ -1,0 +1,471 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/smpl"
+)
+
+// run applies a patch text to a source text and returns the transformed
+// output.
+func run(t *testing.T, patchText, src string, opts Options) (*Result, string) {
+	t.Helper()
+	p, err := smpl.ParsePatch("t.cocci", patchText)
+	if err != nil {
+		t.Fatalf("ParsePatch: %v", err)
+	}
+	eng := New(p, opts)
+	res, err := eng.Run([]SourceFile{{Name: "t.c", Src: src}})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res, res.Outputs["t.c"]
+}
+
+func TestSimpleCallRename(t *testing.T) {
+	patch := `@@ @@
+- old_api(
++ new_api(
+...)
+`
+	// simpler formulation: expression-level rename
+	patch = `@r@
+expression list el;
+@@
+- old_api(el)
++ new_api(el)
+`
+	src := "void f(void){ old_api(1, 2); keep(); old_api(x); }\n"
+	res, out := run(t, patch, src, Options{})
+	if !res.Matched["r"] {
+		t.Fatal("rule did not match")
+	}
+	if strings.Contains(out, "old_api") {
+		t.Errorf("old_api still present:\n%s", out)
+	}
+	if strings.Count(out, "new_api") != 2 {
+		t.Errorf("want 2 new_api calls:\n%s", out)
+	}
+	if !strings.Contains(out, "new_api(1, 2)") {
+		t.Errorf("arguments lost:\n%s", out)
+	}
+}
+
+func TestL1LikwidInstrumentation(t *testing.T) {
+	patch := `@@ @@
+#include <omp.h>
++ #include <likwid-marker.h>
+
+@@ @@
+#pragma omp ...
+{
++ LIKWID_MARKER_START(__func__);
+...
++ LIKWID_MARKER_STOP(__func__);
+}
+`
+	src := `#include <omp.h>
+void compute(int n, double *a) {
+#pragma omp parallel for
+{
+	for (int i = 0; i < n; ++i) a[i] = 2.0 * a[i];
+}
+}
+`
+	res, out := run(t, patch, src, Options{})
+	if len(res.Changed()) != 1 {
+		t.Fatalf("changed=%v", res.Changed())
+	}
+	wantBits := []string{
+		"#include <likwid-marker.h>",
+		"LIKWID_MARKER_START(__func__);",
+		"LIKWID_MARKER_STOP(__func__);",
+	}
+	for _, w := range wantBits {
+		if !strings.Contains(out, w) {
+			t.Errorf("missing %q in output:\n%s", w, out)
+		}
+	}
+	// include must come after <omp.h>
+	if strings.Index(out, "likwid-marker.h") < strings.Index(out, "omp.h") {
+		t.Errorf("likwid include must follow omp include:\n%s", out)
+	}
+	// START before the loop, STOP after it
+	if !(strings.Index(out, "MARKER_START") < strings.Index(out, "for (") &&
+		strings.Index(out, "for (") < strings.Index(out, "MARKER_STOP")) {
+		t.Errorf("markers misplaced:\n%s", out)
+	}
+}
+
+func TestL7MultiIndex(t *testing.T) {
+	patch := `@tomultiindex@
+symbol a;
+expression x,y,z;
+@@
+- a[x][y][z]
++ a[x, y, z]
+`
+	src := "void f(double ***a, int i, int j, int k){ a[i][j][k] = a[k][j][i] + 1; }\n"
+	res, out := run(t, patch, src, Options{CPlusPlus: true, Std: 23})
+	if res.MatchCount["tomultiindex"] != 2 {
+		t.Errorf("matches=%d want 2", res.MatchCount["tomultiindex"])
+	}
+	if !strings.Contains(out, "a[i, j, k] = a[k, j, i] + 1;") {
+		t.Errorf("multi-index rewrite wrong:\n%s", out)
+	}
+}
+
+func TestL10KernelLaunch(t *testing.T) {
+	patch := `@@
+identifier k;
+expression b,t,x,y;
+expression list el;
+@@
+- k<<<b,t,x,y>>>(el)
++ hipLaunchKernelGGL(k,b,t,x,y,el)
+`
+	src := "void f(void){ saxpy<<<grid, block, 0, stream>>>(n, a, x, y); }\n"
+	_, out := run(t, patch, src, Options{CUDA: true})
+	if !strings.Contains(out, "hipLaunchKernelGGL(saxpy,grid,block,0,stream,n, a, x, y);") {
+		t.Errorf("kernel launch rewrite wrong:\n%s", out)
+	}
+	if strings.Contains(out, "<<<") {
+		t.Errorf("chevrons remain:\n%s", out)
+	}
+}
+
+func TestL5UnrollP0(t *testing.T) {
+	patch := `@p0@
+type T;
+identifier i,l;
+constant k={4};
+statement A,B,C,D;
+@@
++ #pragma omp unroll partial(4)
+for (T i=0; i
+- +k-1
+ < l ;
+- i+=k
++ ++i
+)
+{
+\( A \& i+0 \) \(
+- B \& i+1
+\) \(
+- C \& i+2
+\) \(
+- D \& i+3
+\)
+}
+`
+	src := `void f(int n, double *s, double *q) {
+	for (int v=0; v+4-1 < n; v+=4)
+	{
+		s[v+0] = q[v+0];
+		s[v+1] = q[v+1];
+		s[v+2] = q[v+2];
+		s[v+3] = q[v+3];
+	}
+}
+`
+	res, out := run(t, patch, src, Options{})
+	if !res.Matched["p0"] {
+		t.Fatalf("p0 did not match; out:\n%s", out)
+	}
+	for _, w := range []string{
+		"#pragma omp unroll partial(4)",
+		"for (int v=0; v < n; ++v)",
+		"s[v+0] = q[v+0];",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("missing %q:\n%s", w, out)
+		}
+	}
+	for _, bad := range []string{"v+1", "v+2", "v+3", "v+=4"} {
+		if strings.Contains(out, bad) {
+			t.Errorf("unrolled remnant %q:\n%s", bad, out)
+		}
+	}
+}
+
+func TestL14PragmaInjection(t *testing.T) {
+	patch := `@pragma_inject@
+identifier i =~ "rsb__BCSR_spmv_sasa_double_complex";
+type T;
+@@
++ #pragma GCC push_options
++ #pragma GCC optimize "-O3", "-fno-tree-loop-vectorize"
+T i(...)
+{
+...
+}
++ #pragma GCC pop_options
+`
+	src := `int rsb__BCSR_spmv_sasa_double_complex_C__tN_r1_c1_uu_sH_dE_uG(const void *a) {
+	return 0;
+}
+int unaffected_function(int x) {
+	return x;
+}
+`
+	res, out := run(t, patch, src, Options{})
+	if res.MatchCount["pragma_inject"] != 1 {
+		t.Fatalf("matches=%d want 1", res.MatchCount["pragma_inject"])
+	}
+	pushIdx := strings.Index(out, "#pragma GCC push_options")
+	popIdx := strings.Index(out, "#pragma GCC pop_options")
+	fnIdx := strings.Index(out, "rsb__BCSR")
+	unIdx := strings.Index(out, "unaffected_function")
+	if pushIdx < 0 || popIdx < 0 {
+		t.Fatalf("pragmas missing:\n%s", out)
+	}
+	if !(pushIdx < fnIdx && fnIdx < popIdx && popIdx < unIdx) {
+		t.Errorf("pragma placement wrong (push=%d fn=%d pop=%d un=%d):\n%s", pushIdx, fnIdx, popIdx, unIdx, out)
+	}
+}
+
+func TestL4BloatRemoval(t *testing.T) {
+	patch := `@c@
+type T;
+function f;
+parameter list PL;
+@@
+- __attribute__((target(
+(
+- "avx512"
+|
+- "avx2"
+)
+- )))
+- T f(PL) { ... }
+
+@d@
+type c.T;
+function c.f;
+parameter list c.PL;
+@@
+- __attribute__((target("default")))
+T f(PL) { ... }
+`
+	src := `__attribute__((target("avx512")))
+void spmv(int n, double *a) { a[0] = n; }
+__attribute__((target("avx2")))
+void spmv(int n, double *a) { a[0] = n + 1; }
+__attribute__((target("default")))
+void spmv(int n, double *a) { a[0] = n + 2; }
+void untouched(void) { }
+`
+	res, out := run(t, patch, src, Options{})
+	if res.MatchCount["c"] != 2 {
+		t.Fatalf("rule c matches=%d want 2\n%s", res.MatchCount["c"], out)
+	}
+	if res.MatchCount["d"] != 1 {
+		t.Fatalf("rule d matches=%d want 1\n%s", res.MatchCount["d"], out)
+	}
+	if strings.Contains(out, "avx512") || strings.Contains(out, "avx2") {
+		t.Errorf("specialized clones not removed:\n%s", out)
+	}
+	if strings.Contains(out, "__attribute__") {
+		t.Errorf("default attribute not removed:\n%s", out)
+	}
+	// the default function body must survive
+	if !strings.Contains(out, "a[0] = n + 2;") {
+		t.Errorf("default implementation lost:\n%s", out)
+	}
+	if !strings.Contains(out, "untouched") {
+		t.Errorf("unrelated function lost:\n%s", out)
+	}
+}
+
+func TestL8ScriptFunctionRename(t *testing.T) {
+	patch := `@initialize:python@ @@
+C2HF = { "curand_uniform_double":
+ "rocrand_uniform_double" }
+
+@cfe@
+identifier fn;
+expression list el;
+position p;
+@@
+fn@p(el)
+
+@script:python cf2hf@
+fn << cfe.fn;
+nf;
+@@
+coccinelle.nf =
+ cocci.make_ident(C2HF[fn]);
+
+@hfe@
+identifier cfe.fn;
+identifier cf2hf.nf;
+position cfe.p;
+@@
+- fn@p
++ nf
+(...)
+`
+	src := "void f(void){ double d = curand_uniform_double(gen); other_call(1); }\n"
+	res, out := run(t, patch, src, Options{})
+	if !res.Matched["hfe"] {
+		t.Fatalf("hfe did not match:\n%s", out)
+	}
+	if !strings.Contains(out, "rocrand_uniform_double(gen)") {
+		t.Errorf("function not renamed:\n%s", out)
+	}
+	if !strings.Contains(out, "other_call(1)") {
+		t.Errorf("unrelated call touched:\n%s", out)
+	}
+	if strings.Contains(out, "curand_uniform_double") {
+		t.Errorf("old name remains:\n%s", out)
+	}
+}
+
+func TestL9ScriptTypeRename(t *testing.T) {
+	patch := `@initialize:python@ @@
+C2HT = { "__half": "rocblas_half" }
+
+@cte@
+type c_t;
+identifier i;
+@@
+c_t i;
+
+@script:python ct2hf@
+c_t << cte.c_t;
+h_t;
+@@
+coccinelle.h_t = cocci.make_type(C2HT[c_t])
+
+@hte@
+type ct2hf.h_t;
+type cte.c_t;
+identifier cte.i;
+@@
+- c_t i;
++ h_t i;
+`
+	src := "void f(void){ __half x; int y; }\n"
+	res, out := run(t, patch, src, Options{})
+	if !res.Matched["hte"] {
+		t.Fatalf("hte did not match:\n%s", out)
+	}
+	if !strings.Contains(out, "rocblas_half x;") {
+		t.Errorf("type not renamed:\n%s", out)
+	}
+	if !strings.Contains(out, "int y;") {
+		t.Errorf("unrelated declaration touched:\n%s", out)
+	}
+}
+
+func TestL2DeclareVariant(t *testing.T) {
+	patch := `@@
+type T;
+identifier f =~ "kernel";
+parameter list PL;
+statement list SL;
+fresh identifier f512 = "avx512_" ## f;
+fresh identifier f10 = "avx10_" ## f;
+@@
++ T f512 (PL) { SL }
++ T f10 (PL) { SL }
++ #pragma omp declare variant(f512) match(device={isa("core-avx512")})
++ #pragma omp declare variant(f10) match(device={isa("core-avx10")})
+T f (PL) { SL }
+`
+	src := `double kernel_dot(int n, double *x, double *y) { double s = 0; return s; }
+void helper(void) { }
+`
+	res, out := run(t, patch, src, Options{})
+	if res.MatchCount["rule1"] != 1 {
+		t.Fatalf("matches=%d want 1\n%s", res.MatchCount["rule1"], out)
+	}
+	for _, w := range []string{
+		"double avx512_kernel_dot (int n, double *x, double *y) { double s = 0; return s; }",
+		"double avx10_kernel_dot (int n, double *x, double *y) { double s = 0; return s; }",
+		"#pragma omp declare variant(avx512_kernel_dot) match(device={isa(\"core-avx512\")})",
+		"#pragma omp declare variant(avx10_kernel_dot)",
+	} {
+		if !strings.Contains(out, w) {
+			t.Errorf("missing %q:\n%s", w, out)
+		}
+	}
+	// base function must remain, clones must precede it
+	base := strings.Index(out, "double kernel_dot")
+	clone := strings.Index(out, "avx512_kernel_dot (")
+	if base < 0 || clone < 0 || clone > base {
+		t.Errorf("clone/base ordering wrong:\n%s", out)
+	}
+}
+
+func TestDependsOnSkipsRule(t *testing.T) {
+	patch := `@never@
+@@
+- this_call_is_absent();
+
+@dep depends on never@
+@@
+- remove_me();
++ replaced();
+`
+	src := "void f(void){ remove_me(); }\n"
+	res, out := run(t, patch, src, Options{})
+	if res.Matched["dep"] {
+		t.Error("dep should not run when never did not match")
+	}
+	if !strings.Contains(out, "remove_me();") {
+		t.Errorf("source must be unchanged:\n%s", out)
+	}
+}
+
+func TestUnchangedFileNoDiff(t *testing.T) {
+	patch := "@r@\n@@\n- absent();\n"
+	src := "void f(void){ present(); }\n"
+	res, out := run(t, patch, src, Options{})
+	if out != src {
+		t.Errorf("output differs for non-matching patch")
+	}
+	if res.Diffs["t.c"] != "" {
+		t.Errorf("diff should be empty")
+	}
+}
+
+func TestGoScriptHost(t *testing.T) {
+	patch := `@cfe@
+identifier fn;
+expression list el;
+@@
+fn(el)
+
+@script:go upper@
+fn << cfe.fn;
+nf;
+@@
+(native)
+
+@hfe@
+identifier cfe.fn;
+identifier upper.nf;
+@@
+- fn
++ nf
+(...)
+`
+	p, err := smpl.ParsePatch("t.cocci", patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(p, Options{})
+	eng.RegisterScript("upper", func(in map[string]string) (map[string]string, error) {
+		return map[string]string{"nf": "wrapped_" + in["fn"]}, nil
+	})
+	res, err := eng.Run([]SourceFile{{Name: "t.c", Src: "void f(void){ target(1); }\n"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Outputs["t.c"]
+	if !strings.Contains(out, "wrapped_target(1);") {
+		t.Errorf("go script host rename failed:\n%s", out)
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"repro/internal/cast"
+	"repro/internal/cfg"
+	"repro/internal/ctl"
+	"repro/internal/match"
+	"repro/internal/smpl"
+)
+
+// verifyCTL re-checks a match's dots constraints against the control-flow
+// graph: between the first and last matched statements there must exist a
+// path on which no node matches any `when != e` expression. The sequence
+// matcher already enforces the syntactic version of this; the CTL check adds
+// path sensitivity across branches and loops, mirroring Coccinelle's
+// CTL-VW semantics. It returns true when the match survives.
+func (e *Engine) verifyCTL(st *fileState, rule *smpl.Rule, mt *match.Match) bool {
+	constraints := dotsConstraints(rule.Pattern)
+	if len(constraints) == 0 {
+		return true
+	}
+	fd := enclosingFunc(st.file, mt.First)
+	if fd == nil {
+		return true
+	}
+	g := cfg.Build(fd)
+	from := nodeCovering(g, mt.First)
+	to := nodeCovering(g, mt.Last)
+	if from < 0 || to < 0 {
+		return true
+	}
+	metas := smpl.NewMetaTable(rule.Metas)
+	avoid := func(n *cfg.Node) bool {
+		if n.Kind != cfg.Stmt || n.AST == nil {
+			return false
+		}
+		f, l := n.AST.Span()
+		// nodes inside the matched span are the anchors themselves
+		if f >= mt.First && l <= mt.Last {
+			first, last := n.AST.Span()
+			if first == mt.First || last == mt.Last {
+				return false
+			}
+		}
+		for _, ce := range constraints {
+			if exprOccursIn(ce, n.AST, metas, st.file, mt.Env) {
+				return true
+			}
+		}
+		return false
+	}
+	toPred := func(n *cfg.Node) bool {
+		if n.AST == nil {
+			return false
+		}
+		f, l := n.AST.Span()
+		return f <= mt.Last && mt.Last <= l
+	}
+	return ctl.PathWithout(g, from, toPred, avoid)
+}
+
+// dotsConstraints collects every `when != e` expression in the pattern.
+func dotsConstraints(p *smpl.Pattern) []cast.Expr {
+	var out []cast.Expr
+	visit := func(n cast.Node) bool {
+		if d, ok := n.(*cast.Dots); ok {
+			out = append(out, d.WhenNot...)
+		}
+		return true
+	}
+	switch p.Kind {
+	case smpl.ExprPattern:
+		cast.Walk(p.Expr, visit)
+	case smpl.StmtSeqPattern:
+		for _, s := range p.Stmts {
+			cast.Walk(s, visit)
+		}
+	case smpl.DeclPattern:
+		for _, d := range p.Decls {
+			cast.Walk(d, visit)
+		}
+	}
+	return out
+}
+
+// enclosingFunc finds the function whose token span contains tok.
+func enclosingFunc(f *cast.File, tok int) *cast.FuncDef {
+	for _, fd := range f.Funcs() {
+		first, last := fd.Span()
+		if first <= tok && tok <= last {
+			return fd
+		}
+	}
+	return nil
+}
+
+// nodeCovering finds the CFG node whose AST span contains the token.
+func nodeCovering(g *cfg.Graph, tok int) int {
+	best, bestW := -1, 1<<30
+	for _, n := range g.Nodes {
+		if n.AST == nil {
+			continue
+		}
+		f, l := n.AST.Span()
+		if f <= tok && tok <= l && l-f < bestW {
+			best, bestW = n.ID, l-f
+		}
+	}
+	return best
+}
+
+// exprOccursIn matches a pattern expression anywhere inside the node's
+// subtree under the match environment.
+func exprOccursIn(pe cast.Expr, root cast.Node, metas *smpl.MetaTable, file *cast.File, env match.Env) bool {
+	probe := &match.Matcher{Metas: metas, Code: file, Inherited: env}
+	return probe.ExprOccurs(pe, root)
+}

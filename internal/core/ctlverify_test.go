@@ -1,0 +1,61 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// The CTL backend is path-sensitive where the syntactic dots check is
+// statement-list-sensitive: a forbidden statement inside only one branch of
+// an if still leaves a clean path, so the match survives under CTL.
+func TestCTLDotsBranchSensitivity(t *testing.T) {
+	patch := `@r@
+@@
+- lock();
+... when != touch()
+- unlock();
++ scoped_guard();
+`
+	src := `void f(int x){
+	lock();
+	if (x) { touch(); }
+	unlock();
+}
+`
+	// Syntactic check: touch() occurs among the skipped statements' subtree
+	// (the if statement contains it), so the sequence matcher rejects.
+	res, _ := runWith(t, patch, src, Options{})
+	if res.Matched["r"] {
+		t.Error("syntactic dots check should reject: skipped if-statement contains touch()")
+	}
+	// CTL check alone would accept (the else path avoids touch()), but the
+	// engine applies CTL as an additional filter on top of the syntactic
+	// match, so the result stays rejected — and, crucially, does not crash.
+	res, _ = runWith(t, patch, src, Options{UseCTL: true})
+	if res.Matched["r"] {
+		t.Error("CTL filter must not loosen the syntactic pre-filter")
+	}
+}
+
+func TestCTLAcceptsCleanPath(t *testing.T) {
+	patch := `@r@
+@@
+- lock();
+... when != bad()
+- unlock();
++ scoped_guard();
+`
+	src := "void f(void){\n\tlock();\n\twork();\n\tunlock();\n}\n"
+	res, out := runWith(t, patch, src, Options{UseCTL: true})
+	if !res.Matched["r"] {
+		t.Fatal("clean path must match under CTL")
+	}
+	if !strings.Contains(out, "scoped_guard();") {
+		t.Errorf("transform missing:\n%s", out)
+	}
+}
+
+func runWith(t *testing.T, patch, src string, opts Options) (*Result, string) {
+	t.Helper()
+	return run(t, patch, src, opts)
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/smpl"
+)
+
+// The paper's librsb story: the compiler-bug workaround patch is triggered
+// conditionally (per compiler version) from the build system. Virtual rules
+// are the SmPL mechanism for that.
+const virtualPatch = `virtual fix_gcc;
+
+@workaround depends on fix_gcc@
+identifier i =~ "rsb__BCSR";
+type T;
+@@
++ #pragma GCC push_options
++ #pragma GCC optimize "-O3", "-fno-tree-loop-vectorize"
+T i(...)
+{
+...
+}
++ #pragma GCC pop_options
+`
+
+const virtualSrc = "int rsb__BCSR_spmv(const void *a) { return 0; }\n"
+
+func TestVirtualRuleDisabledByDefault(t *testing.T) {
+	p, err := smpl.ParsePatch("v.cocci", virtualPatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Virtuals) != 1 || p.Virtuals[0] != "fix_gcc" {
+		t.Fatalf("virtuals=%v", p.Virtuals)
+	}
+	res, err := New(p, Options{}).Run([]SourceFile{{Name: "a.c", Src: virtualSrc}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(res.Outputs["a.c"], "push_options") {
+		t.Error("rule ran although fix_gcc was not defined")
+	}
+}
+
+func TestVirtualRuleEnabledByDefine(t *testing.T) {
+	p, err := smpl.ParsePatch("v.cocci", virtualPatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(p, Options{Defines: []string{"fix_gcc"}}).
+		Run([]SourceFile{{Name: "a.c", Src: virtualSrc}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Outputs["a.c"], "#pragma GCC push_options") {
+		t.Errorf("workaround not applied:\n%s", res.Outputs["a.c"])
+	}
+}
+
+func TestUndeclaredDefineRejected(t *testing.T) {
+	p, err := smpl.ParsePatch("v.cocci", virtualPatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = New(p, Options{Defines: []string{"typo_name"}}).
+		Run([]SourceFile{{Name: "a.c", Src: virtualSrc}})
+	if err == nil || !strings.Contains(err.Error(), "not declared virtual") {
+		t.Errorf("want undeclared-define error, got %v", err)
+	}
+}
+
+func TestNegatedVirtualDependency(t *testing.T) {
+	patch := `virtual legacy;
+
+@modern depends on !legacy@
+@@
+- old_call();
++ new_call();
+`
+	p, err := smpl.ParsePatch("n.cocci", patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := "void f(void){ old_call(); }\n"
+	// Without the define: !legacy holds, rule fires.
+	res, err := New(p, Options{}).Run([]SourceFile{{Name: "a.c", Src: src}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Outputs["a.c"], "new_call();") {
+		t.Error("rule should fire when legacy is undefined")
+	}
+	// With the define: suppressed.
+	res, err = New(p, Options{Defines: []string{"legacy"}}).
+		Run([]SourceFile{{Name: "a.c", Src: src}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(res.Outputs["a.c"], "new_call();") {
+		t.Error("rule must not fire when legacy is defined")
+	}
+}

@@ -1,0 +1,222 @@
+package cparse
+
+import (
+	"testing"
+
+	"repro/internal/cast"
+	"repro/internal/ctoken"
+)
+
+// pattern-mode parsing exercised directly (higher layers test it through
+// smpl; these tests pin the parser-level behaviour).
+
+func patTable() MetaTable {
+	return tableOf(map[string]cast.MetaKind{
+		"E":  cast.MetaExprKind,
+		"S":  cast.MetaStmtKind,
+		"S2": cast.MetaStmtKind,
+		"T":  cast.MetaTypeKind,
+		"id": cast.MetaIdentKind,
+		"el": cast.MetaExprListKind,
+		"pi": cast.MetaPragmaInfoKind,
+	})
+}
+
+func TestPatternDotsWithWhen(t *testing.T) {
+	stmts, _, err := ParseStmts("lock();\n... when != bad(E)\nunlock();", Options{Meta: patTable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 3 {
+		t.Fatalf("stmts=%d", len(stmts))
+	}
+	d, ok := stmts[1].(*cast.Dots)
+	if !ok {
+		t.Fatalf("middle: %T", stmts[1])
+	}
+	if len(d.WhenNot) != 1 {
+		t.Errorf("when constraints: %d", len(d.WhenNot))
+	}
+}
+
+func TestPatternWhenAny(t *testing.T) {
+	stmts, _, err := ParseStmts("a();\n... when any\nb();", Options{Meta: patTable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stmts[1].(*cast.Dots).WhenAny {
+		t.Error("when any lost")
+	}
+}
+
+func TestPatternEscapedStmtGroup(t *testing.T) {
+	stmts, _, err := ParseStmts(`\( S \| S2 \)`, Options{Meta: patTable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, ok := stmts[0].(*cast.DisjStmt)
+	if !ok {
+		t.Fatalf("got %T", stmts[0])
+	}
+	if len(ds.Branches) != 2 {
+		t.Errorf("branches=%d", len(ds.Branches))
+	}
+}
+
+func TestPatternEscapedConjStmt(t *testing.T) {
+	stmts, _, err := ParseStmts(`\( S \& E + 1 \)`, Options{Meta: patTable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, ok := stmts[0].(*cast.ConjStmt)
+	if !ok {
+		t.Fatalf("got %T", stmts[0])
+	}
+	if len(cs.Operands) != 2 {
+		t.Errorf("operands=%d", len(cs.Operands))
+	}
+}
+
+func TestPatternExprGroup(t *testing.T) {
+	e, _, err := ParseExpr(`\( E == 1 \| 1 == E \)`, Options{Meta: patTable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, ok := e.(*cast.DisjExpr)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	if len(d.Branches) != 2 {
+		t.Errorf("branches=%d", len(d.Branches))
+	}
+	// conjunction
+	e, _, err = ParseExpr(`\( E \& id \)`, Options{Meta: patTable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*cast.ConjExpr); !ok {
+		t.Fatalf("got %T", e)
+	}
+}
+
+func TestPatternColumnZeroDisjExpr(t *testing.T) {
+	// column-zero parens with a column-zero separator form a disjunction
+	src := "x = \n(\n\"a\"\n|\n\"b\"\n)\n;"
+	stmts, _, err := ParseStmts(src, Options{Meta: patTable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := stmts[0].(*cast.ExprStmt).X.(*cast.BinaryExpr)
+	if _, ok := b.Y.(*cast.DisjExpr); !ok {
+		t.Fatalf("rhs: %T", b.Y)
+	}
+}
+
+func TestPatternColumnZeroParenNotDisj(t *testing.T) {
+	// a column-zero paren with no separator is ordinary grouping
+	src := "x = id\n(E)\n;"
+	stmts, _, err := ParseStmts(src, Options{Meta: patTable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := stmts[0].(*cast.ExprStmt).X.(*cast.BinaryExpr)
+	if _, ok := b.Y.(*cast.CallExpr); !ok {
+		t.Fatalf("rhs should be a call: %T", b.Y)
+	}
+}
+
+func TestPatternPragma(t *testing.T) {
+	lf, err := ctoken.Lex("p", "#pragma acc pi", ctoken.Options{SmPL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseTokens(lf, Options{Meta: patTable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, ok := f.Decls[0].(*cast.PragmaPattern)
+	if !ok {
+		t.Fatalf("got %T", f.Decls[0])
+	}
+	if pp.InfoMeta != "pi" || len(pp.Words) != 1 || pp.Words[0] != "acc" {
+		t.Errorf("pattern: %+v", pp)
+	}
+}
+
+func TestPatternPragmaTailDots(t *testing.T) {
+	lf, err := ctoken.Lex("p", "#pragma omp parallel ...", ctoken.Options{SmPL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseTokens(lf, Options{Meta: patTable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp := f.Decls[0].(*cast.PragmaPattern)
+	if !pp.TailDots || len(pp.Words) != 2 {
+		t.Errorf("pattern: %+v", pp)
+	}
+}
+
+func TestTemplateArgsInTypePosition(t *testing.T) {
+	f := parseOK(t, "void f(void){ std::vector<double> v; }", Options{CPlusPlus: true})
+	fd := f.Decls[0].(*cast.FuncDef)
+	ds, ok := fd.Body.Items[0].(*cast.DeclStmt)
+	if !ok {
+		t.Fatalf("got %T", fd.Body.Items[0])
+	}
+	if ds.D.Items[0].Name.Name != "v" {
+		t.Errorf("decl: %+v", ds.D)
+	}
+}
+
+func TestParseExprTokensDirect(t *testing.T) {
+	lf, err := ctoken.Lex("e", "a + b", ctoken.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := ParseExprTokens(lf, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := e.(*cast.BinaryExpr); !ok {
+		t.Fatalf("got %T", e)
+	}
+	// trailing tokens must error
+	lf2, _ := ctoken.Lex("e", "a + b c", ctoken.Options{})
+	if _, err := ParseExprTokens(lf2, Options{}); err == nil {
+		t.Error("expected trailing-token error")
+	}
+}
+
+func TestPatternForHeaderDots(t *testing.T) {
+	stmts, _, err := ParseStmts("for (...;E;...) S", Options{Meta: patTable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := stmts[0].(*cast.For)
+	if _, ok := fl.Init.(*cast.Dots); !ok {
+		t.Errorf("init: %T", fl.Init)
+	}
+	if _, ok := fl.Post.(*cast.Dots); !ok {
+		t.Errorf("post: %T", fl.Post)
+	}
+	if _, ok := fl.Body.(*cast.MetaStmt); !ok {
+		t.Errorf("body: %T", fl.Body)
+	}
+}
+
+func TestPatternMetaParamListAndDots(t *testing.T) {
+	lf, err := ctoken.Lex("p", "T id(...) { ... }", ctoken.Options{SmPL: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := ParseTokens(lf, Options{Meta: patTable()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fd := f.Decls[0].(*cast.FuncDef)
+	if !fd.Params.MetaDots {
+		t.Error("param dots not detected")
+	}
+}

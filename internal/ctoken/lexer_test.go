@@ -1,0 +1,231 @@
+package ctoken
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func lexOK(t *testing.T, src string, opts Options) *File {
+	t.Helper()
+	f, err := Lex("test.c", src, opts)
+	if err != nil {
+		t.Fatalf("Lex(%q): %v", src, err)
+	}
+	return f
+}
+
+func kinds(f *File) []Kind {
+	var ks []Kind
+	for _, t := range f.Tokens {
+		ks = append(ks, t.Kind)
+	}
+	return ks
+}
+
+func texts(f *File) []string {
+	var ts []string
+	for _, t := range f.Tokens {
+		if t.Kind != EOF {
+			ts = append(ts, t.Text)
+		}
+	}
+	return ts
+}
+
+func TestLexBasics(t *testing.T) {
+	f := lexOK(t, "int main(void) { return 0; }", Options{})
+	want := []string{"int", "main", "(", "void", ")", "{", "return", "0", ";", "}"}
+	got := texts(f)
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestLexRenderRoundtrip(t *testing.T) {
+	srcs := []string{
+		"int main(void) { return 0; }",
+		"/* header */\nint  x = 042;   // trailing\n\nfloat y = 1.5e-3f;\n",
+		"#include <omp.h>\n#pragma omp parallel for\nfor(int i=0;i<n;++i) a[i]=b[i];\n",
+		"char *s = \"hi\\\"there\";\nchar c = '\\n';\n",
+		"#define M(a,b) \\\n  ((a)+(b))\nint z = M(1,2);\n",
+		"x <<= 2; y >>= 3; p->q.r++; a ? b : c;\n",
+		"double d = 0x1.8p3;\n",
+	}
+	for _, src := range srcs {
+		f := lexOK(t, src, Options{})
+		if got := f.Render(); got != src {
+			t.Errorf("roundtrip failed:\n in: %q\nout: %q", src, got)
+		}
+	}
+}
+
+func TestLexCUDAChevrons(t *testing.T) {
+	f := lexOK(t, "k<<<b,t>>>(x);", Options{CUDAChevrons: true})
+	got := texts(f)
+	want := []string{"k", "<<<", "b", ",", "t", ">>>", "(", "x", ")", ";"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("got %v want %v", got, want)
+	}
+	// Without chevrons the same text lexes as shifts.
+	f = lexOK(t, "a<<<b", Options{})
+	got = texts(f)
+	want = []string{"a", "<<", "<", "b"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestLexPPDirectives(t *testing.T) {
+	src := "#include <stdio.h>\nint x;\n#pragma omp parallel \\\n  for\ny();\n"
+	f := lexOK(t, src, Options{})
+	var pps []string
+	for _, tok := range f.Tokens {
+		if tok.Kind == PP {
+			pps = append(pps, tok.Text)
+		}
+	}
+	if len(pps) != 2 {
+		t.Fatalf("want 2 PP tokens, got %d: %v", len(pps), pps)
+	}
+	if pps[0] != "#include <stdio.h>" {
+		t.Errorf("include text = %q", pps[0])
+	}
+	if !strings.Contains(pps[1], "for") || !strings.HasPrefix(pps[1], "#pragma omp") {
+		t.Errorf("pragma continuation not merged: %q", pps[1])
+	}
+	if f.Render() != src {
+		t.Errorf("roundtrip failed")
+	}
+}
+
+func TestLexHashNotAtLineStart(t *testing.T) {
+	// '#' mid-line is an error in C, but in SmPL mode ## is concatenation.
+	f := lexOK(t, `fresh identifier g = "p_" ## f;`, Options{SmPL: true})
+	found := false
+	for _, tok := range f.Tokens {
+		if tok.Is("##") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("## not lexed in SmPL mode: %v", texts(f))
+	}
+}
+
+func TestLexSmPLTokens(t *testing.T) {
+	f := lexOK(t, `\( A \& i+0 \) \| B @p`, Options{SmPL: true})
+	got := texts(f)
+	want := []string{`\(`, "A", `\&`, "i", "+", "0", `\)`, `\|`, "B", "@", "p"}
+	if strings.Join(got, " ") != strings.Join(want, " ") {
+		t.Errorf("got %v want %v", got, want)
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	cases := []struct {
+		src  string
+		kind Kind
+	}{
+		{"42", IntLit}, {"0x1f", IntLit}, {"042", IntLit}, {"42u", IntLit},
+		{"42ULL", IntLit}, {"1.5", FloatLit}, {"1.5f", FloatLit},
+		{"1e10", FloatLit}, {"1.5e-3", FloatLit}, {".5", FloatLit},
+		{"0x1.8p3", FloatLit},
+	}
+	for _, c := range cases {
+		f := lexOK(t, c.src, Options{})
+		if f.Tokens[0].Kind != c.kind || f.Tokens[0].Text != c.src {
+			t.Errorf("%q: got kind=%v text=%q, want kind=%v", c.src, f.Tokens[0].Kind, f.Tokens[0].Text, c.kind)
+		}
+	}
+}
+
+func TestLexStrings(t *testing.T) {
+	cases := []string{`"abc"`, `"a\"b"`, `'x'`, `'\0'`, `L"wide"`, `u8"utf"`, `R"(raw " string)"`}
+	for _, c := range cases {
+		f := lexOK(t, c, Options{})
+		if f.Tokens[0].Text != c {
+			t.Errorf("%q lexed as %q", c, f.Tokens[0].Text)
+		}
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	cases := []string{`"unterminated`, `'u`, "/* open", "`"}
+	for _, c := range cases {
+		if _, err := Lex("t.c", c, Options{}); err == nil {
+			t.Errorf("Lex(%q): expected error", c)
+		}
+	}
+}
+
+func TestLexPositions(t *testing.T) {
+	f := lexOK(t, "int x;\n  y = 2;", Options{})
+	// token "y" should be at line 2, col 3
+	for _, tok := range f.Tokens {
+		if tok.IsIdent("y") {
+			if tok.Pos.Line != 2 || tok.Pos.Col != 3 {
+				t.Errorf("y at %v, want 2:3", tok.Pos)
+			}
+			return
+		}
+	}
+	t.Fatal("y not found")
+}
+
+func TestSlice(t *testing.T) {
+	f := lexOK(t, "a + b * c", Options{})
+	if got := f.Slice(0, 4); got != "a + b * c" {
+		t.Errorf("Slice = %q", got)
+	}
+	if got := f.Slice(2, 4); got != "b * c" {
+		t.Errorf("Slice = %q", got)
+	}
+	if got := f.Slice(3, 2); got != "" {
+		t.Errorf("inverted Slice = %q, want empty", got)
+	}
+}
+
+// Property: rendering the token stream of any lexable identifier/whitespace
+// soup reproduces the input.
+func TestQuickRoundtrip(t *testing.T) {
+	alphabet := []string{"x", "foo", "42", "1.5", "+", "-", "*", "(", ")", "{", "}",
+		";", ",", " ", "\n", "\t", "==", "<=", "->", `"s"`, "'c'", "/*c*/ ", "// l\n"}
+	gen := func(pick []int) string {
+		var sb strings.Builder
+		for _, p := range pick {
+			if p < 0 {
+				p = -p
+			}
+			sb.WriteString(alphabet[p%len(alphabet)])
+			sb.WriteString(" ")
+		}
+		return sb.String()
+	}
+	prop := func(pick []int) bool {
+		src := gen(pick)
+		f, err := Lex("q.c", src, Options{})
+		if err != nil {
+			return false
+		}
+		return f.Render() == src
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: lexing is insensitive to trailing whitespace in token count.
+func TestQuickTrailingWS(t *testing.T) {
+	prop := func(n uint8) bool {
+		src := "int x = 1;" + strings.Repeat(" ", int(n%40))
+		f, err := Lex("q.c", src, Options{})
+		if err != nil {
+			return false
+		}
+		return len(f.Tokens) == 6 && f.Render() == src
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,140 @@
+// Package ctoken implements a lexer for the C/C++ dialect used by the
+// semantic patch engine. Tokens keep their exact source text and the
+// whitespace (including comments) that precedes them, so a token stream can
+// be rendered back to the original source byte-for-byte. The same lexer, in
+// SmPL mode, tokenizes semantic patch bodies, which extend C with a handful
+// of pattern operators (escaped disjunctions, metavariable positions, and
+// identifier concatenation).
+package ctoken
+
+import "fmt"
+
+// Kind classifies a token.
+type Kind uint8
+
+// Token kinds. PP is a whole preprocessor line (continuations merged).
+const (
+	EOF Kind = iota
+	Ident
+	IntLit
+	FloatLit
+	CharLit
+	StringLit
+	Punct
+	PP // preprocessor directive line: #include, #pragma, #define, ...
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "EOF"
+	case Ident:
+		return "Ident"
+	case IntLit:
+		return "IntLit"
+	case FloatLit:
+		return "FloatLit"
+	case CharLit:
+		return "CharLit"
+	case StringLit:
+		return "StringLit"
+	case Punct:
+		return "Punct"
+	case PP:
+		return "PP"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Pos is a source position.
+type Pos struct {
+	Offset int // byte offset in the file
+	Line   int // 1-based line
+	Col    int // 1-based column (bytes)
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Token is one lexical element. WS holds the exact whitespace and comments
+// that preceded the token in the source, so concatenating WS+Text over a
+// token slice reproduces the input exactly (the EOF token carries trailing
+// whitespace).
+type Token struct {
+	Kind Kind
+	Text string
+	WS   string
+	Pos  Pos
+}
+
+// Is reports whether the token is a punctuation token with the given text.
+func (t Token) Is(text string) bool { return t.Kind == Punct && t.Text == text }
+
+// IsIdent reports whether the token is an identifier with the given name.
+func (t Token) IsIdent(name string) bool { return t.Kind == Ident && t.Text == name }
+
+// File is a lexed source file.
+type File struct {
+	Name   string
+	Src    string
+	Tokens []Token // always ends with an EOF token
+}
+
+// Render reconstructs the source text of the token stream.
+func (f *File) Render() string {
+	n := 0
+	for _, t := range f.Tokens {
+		n += len(t.WS) + len(t.Text)
+	}
+	buf := make([]byte, 0, n)
+	for _, t := range f.Tokens {
+		buf = append(buf, t.WS...)
+		buf = append(buf, t.Text...)
+	}
+	return string(buf)
+}
+
+// Slice returns the exact source text spanned by tokens [first, last],
+// excluding the leading whitespace of the first token.
+func (f *File) Slice(first, last int) string {
+	if first < 0 || last >= len(f.Tokens) || first > last {
+		return ""
+	}
+	var buf []byte
+	for i := first; i <= last; i++ {
+		if i > first {
+			buf = append(buf, f.Tokens[i].WS...)
+		}
+		buf = append(buf, f.Tokens[i].Text...)
+	}
+	return string(buf)
+}
+
+// Keywords of the supported C/C++ dialect. The lexer does not give keywords a
+// distinct kind (they stay Ident); the parser consults this set.
+var Keywords = map[string]bool{
+	"auto": true, "break": true, "case": true, "char": true, "const": true,
+	"continue": true, "default": true, "do": true, "double": true,
+	"else": true, "enum": true, "extern": true, "float": true, "for": true,
+	"goto": true, "if": true, "inline": true, "int": true, "long": true,
+	"register": true, "restrict": true, "return": true, "short": true,
+	"signed": true, "sizeof": true, "static": true, "struct": true,
+	"switch": true, "typedef": true, "union": true, "unsigned": true,
+	"void": true, "volatile": true, "while": true,
+	// C++ additions we recognize
+	"bool": true, "true": true, "false": true, "class": true, "new": true,
+	"delete": true, "namespace": true, "template": true, "typename": true,
+	"using": true, "nullptr": true, "constexpr": true, "operator": true,
+	"public": true, "private": true, "protected": true,
+	// CUDA qualifiers
+	"__global__": true, "__device__": true, "__host__": true, "__shared__": true,
+}
+
+// TypeKeywords are keywords that can begin a type.
+var TypeKeywords = map[string]bool{
+	"void": true, "char": true, "short": true, "int": true, "long": true,
+	"float": true, "double": true, "signed": true, "unsigned": true,
+	"bool": true, "const": true, "volatile": true, "struct": true,
+	"union": true, "enum": true, "auto": true, "register": true,
+	"static": true, "extern": true, "inline": true, "restrict": true,
+	"typename": true, "constexpr": true,
+}

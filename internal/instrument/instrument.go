@@ -1,0 +1,126 @@
+// Package instrument generates marker-API instrumentation patches for the
+// profiling tools the paper names — LIKWID, Score-P, and Caliper — all
+// instances of its first use case: enclose the code to be measured with
+// start/stop calls of a marker API, selected and removable via semantic
+// patches. The generators are parametric in the region selector (every
+// OpenMP block, or functions matching a regex), so instrumentation can be
+// turned on transitorily and reverted exactly, as the paper advocates.
+package instrument
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// API describes one marker API's syntax.
+type API struct {
+	Name    string
+	Header  string // header to include
+	Start   string // statement template; %s is the region label expression
+	Stop    string
+	AfterOf string // the include after which to place the new header
+}
+
+// Supported marker APIs (the three named in the paper).
+var (
+	LIKWID = API{
+		Name:    "likwid",
+		Header:  "likwid-marker.h",
+		Start:   "LIKWID_MARKER_START(%s);",
+		Stop:    "LIKWID_MARKER_STOP(%s);",
+		AfterOf: "omp.h",
+	}
+	ScoreP = API{
+		Name:    "scorep",
+		Header:  "scorep/SCOREP_User.h",
+		Start:   "SCOREP_USER_REGION_BY_NAME_BEGIN(%s, SCOREP_USER_REGION_TYPE_COMMON);",
+		Stop:    "SCOREP_USER_REGION_BY_NAME_END(%s);",
+		AfterOf: "omp.h",
+	}
+	Caliper = API{
+		Name:    "caliper",
+		Header:  "caliper/cali.h",
+		Start:   "CALI_MARK_BEGIN(%s);",
+		Stop:    "CALI_MARK_END(%s);",
+		AfterOf: "omp.h",
+	}
+)
+
+// APIs indexes the supported marker APIs by name.
+var APIs = map[string]API{
+	"likwid":  LIKWID,
+	"scorep":  ScoreP,
+	"caliper": Caliper,
+}
+
+// Selector restricts which regions get instrumented.
+type Selector struct {
+	// FuncRegex, when non-empty, instruments whole functions whose name
+	// matches instead of OpenMP blocks.
+	FuncRegex string
+	// Label is the region label expression (default __func__).
+	Label string
+}
+
+func (s Selector) label() string {
+	if s.Label == "" {
+		return "__func__"
+	}
+	return s.Label
+}
+
+// Validate checks the selector.
+func (s Selector) Validate() error {
+	if s.FuncRegex != "" {
+		if _, err := regexp.Compile(s.FuncRegex); err != nil {
+			return fmt.Errorf("instrument: bad function regex: %w", err)
+		}
+	}
+	return nil
+}
+
+// InsertPatch generates the semantic patch that adds instrumentation.
+func InsertPatch(api API, sel Selector) (string, error) {
+	if err := sel.Validate(); err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	// Rule 1: the header.
+	fmt.Fprintf(&sb, "@header@\n@@\n#include <%s>\n+ #include <%s>\n\n", api.AfterOf, api.Header)
+	start := fmt.Sprintf(api.Start, sel.label())
+	stop := fmt.Sprintf(api.Stop, sel.label())
+	if sel.FuncRegex != "" {
+		// Rule 2a: instrument whole functions selected by regex.
+		fmt.Fprintf(&sb, `@funcs@
+type T;
+identifier f =~ "%s";
+parameter list PL;
+@@
+T f(PL)
+{
++ %s
+...
++ %s
+}
+`, sel.FuncRegex, start, stop)
+		return sb.String(), nil
+	}
+	// Rule 2b: instrument every OpenMP block (the paper's listing).
+	fmt.Fprintf(&sb, "@regions@\n@@\n#pragma omp ...\n{\n+ %s\n...\n+ %s\n}\n", start, stop)
+	return sb.String(), nil
+}
+
+// RemovePatch generates the inverse patch: delete the marker calls and the
+// header again ("perhaps only transitorily", as the paper puts it).
+func RemovePatch(api API, sel Selector) (string, error) {
+	if err := sel.Validate(); err != nil {
+		return "", err
+	}
+	start := fmt.Sprintf(api.Start, sel.label())
+	stop := fmt.Sprintf(api.Stop, sel.label())
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "@unmark@\n@@\n- %s\n\n@unmark2@\n@@\n- %s\n\n", start, stop)
+	fmt.Fprintf(&sb, "@unheader depends on unmark@\n@@\n- #include <%s>\n", api.Header)
+	return sb.String(), nil
+}

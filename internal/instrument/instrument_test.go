@@ -1,0 +1,109 @@
+package instrument
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/smpl"
+)
+
+func apply(t *testing.T, patchText, src string) string {
+	t.Helper()
+	p, err := smpl.ParsePatch("i.cocci", patchText)
+	if err != nil {
+		t.Fatalf("patch: %v\n%s", err, patchText)
+	}
+	res, err := core.New(p, core.Options{}).Run([]core.SourceFile{{Name: "a.c", Src: src}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Outputs["a.c"]
+}
+
+func workload() string {
+	return codegen.OpenMP(codegen.Config{Funcs: 2, StmtsPerFunc: 1, Seed: 13})
+}
+
+func TestInsertAllAPIs(t *testing.T) {
+	for name, api := range APIs {
+		patch, err := InsertPatch(api, Selector{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out := apply(t, patch, workload())
+		if !strings.Contains(out, "#include <"+api.Header+">") {
+			t.Errorf("%s: header missing:\n%s", name, out)
+		}
+		wantStart := strings.ReplaceAll(api.Start, "%s", "__func__")
+		if strings.Count(out, wantStart) != 2 {
+			t.Errorf("%s: want 2 start markers:\n%s", name, out)
+		}
+	}
+}
+
+func TestInsertThenRemoveRoundtrips(t *testing.T) {
+	// The paper's "transitory instrumentation" workflow: the remove patch
+	// is the exact inverse of the insert patch.
+	src := workload()
+	for name, api := range APIs {
+		ins, err := InsertPatch(api, Selector{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rem, err := RemovePatch(api, Selector{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		instrumented := apply(t, ins, src)
+		restored := apply(t, rem, instrumented)
+		if restored != src {
+			t.Errorf("%s: roundtrip not identity\noriginal:\n%s\nrestored:\n%s", name, src, restored)
+		}
+	}
+}
+
+func TestFuncRegexSelector(t *testing.T) {
+	patch, err := InsertPatch(LIKWID, Selector{FuncRegex: "kernel_0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := apply(t, patch, workload())
+	if strings.Count(out, "LIKWID_MARKER_START") != 1 {
+		t.Errorf("regex selector should hit exactly one function:\n%s", out)
+	}
+}
+
+func TestCustomLabel(t *testing.T) {
+	patch, err := InsertPatch(Caliper, Selector{Label: `"hot_loop"`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := apply(t, patch, workload())
+	if !strings.Contains(out, `CALI_MARK_BEGIN("hot_loop");`) {
+		t.Errorf("custom label missing:\n%s", out)
+	}
+}
+
+func TestBadRegexRejected(t *testing.T) {
+	if _, err := InsertPatch(LIKWID, Selector{FuncRegex: "("}); err == nil {
+		t.Error("expected error for bad regex")
+	}
+	if _, err := RemovePatch(LIKWID, Selector{FuncRegex: "("}); err == nil {
+		t.Error("expected error for bad regex")
+	}
+}
+
+func TestRemoveOnlyWhenMarkersExist(t *testing.T) {
+	// depends-on prevents the header removal when no markers were removed.
+	rem, err := RemovePatch(ScoreP, Selector{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := "#include <scorep/SCOREP_User.h>\nvoid f(void) { unrelated(); }\n"
+	out := apply(t, rem, src)
+	if !strings.Contains(out, "scorep/SCOREP_User.h") {
+		t.Errorf("header removed although no marker present:\n%s", out)
+	}
+}

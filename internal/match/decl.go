@@ -1,0 +1,233 @@
+package match
+
+import (
+	"repro/internal/cast"
+	"repro/internal/smpl"
+)
+
+// findDecls enumerates matches for declaration-level patterns.
+func (m *Matcher) findDecls() []Match {
+	pats := m.Pat.Decls
+	var out []Match
+	if len(pats) == 1 {
+		out = append(out, m.findSingleDecl(pats[0])...)
+		return out
+	}
+	// Multi-declaration patterns match contiguous windows of top-level
+	// declarations.
+	for start := 0; start+len(pats) <= len(m.Code.Decls); start++ {
+		c := m.newCtx()
+		ok := true
+		for i, p := range pats {
+			if !c.decl(p, m.Code.Decls[start+i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, c.finish())
+		}
+	}
+	return out
+}
+
+// findSingleDecl matches one pattern declaration everywhere it can occur:
+// top level always; VarDecl patterns also against declaration statements,
+// pragma patterns also against pragma statements.
+func (m *Matcher) findSingleDecl(p cast.Decl) []Match {
+	var out []Match
+	for _, d := range m.Code.Decls {
+		c := m.newCtx()
+		if c.decl(p, d) {
+			out = append(out, c.finish())
+		}
+	}
+	switch pt := p.(type) {
+	case *cast.VarDecl:
+		cast.Walk(m.Code, func(n cast.Node) bool {
+			if ds, ok := n.(*cast.DeclStmt); ok {
+				c := m.newCtx()
+				if c.varDecl(pt, ds.D) {
+					out = append(out, c.finish())
+				}
+			}
+			return true
+		})
+	case *cast.PragmaPattern:
+		cast.Walk(m.Code, func(n cast.Node) bool {
+			if ps, ok := n.(*cast.PragmaStmt); ok {
+				c := m.newCtx()
+				if c.pragma(pt, ps.P) {
+					c.pairNode(pt, ps)
+					out = append(out, c.finish())
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// decl matches a pattern declaration against a code declaration.
+func (c *ctx) decl(p, x cast.Decl) bool {
+	switch pt := p.(type) {
+	case *cast.IncludePattern:
+		inc, ok := x.(*cast.Include)
+		if !ok || inc.Path != pt.Path || inc.Angled != pt.Angled {
+			return false
+		}
+		c.pairNode(pt, x)
+		return true
+	case *cast.PragmaPattern:
+		pr, ok := x.(*cast.Pragma)
+		if !ok {
+			return false
+		}
+		if !c.pragma(pt, pr) {
+			return false
+		}
+		c.pairNode(pt, x)
+		return true
+	case *cast.FuncDef:
+		fd, ok := x.(*cast.FuncDef)
+		if !ok {
+			return false
+		}
+		return c.funcDef(pt, fd)
+	case *cast.VarDecl:
+		vd, ok := x.(*cast.VarDecl)
+		if !ok {
+			return false
+		}
+		return c.varDecl(pt, vd)
+	case *cast.Pragma:
+		pr, ok := x.(*cast.Pragma)
+		if !ok || pr.Info != pt.Info {
+			return false
+		}
+		c.pairNode(pt, x)
+		return true
+	}
+	return false
+}
+
+// funcDef matches function definition patterns, including attribute
+// patterns, metavariable return types/names, parameter-list wildcards, and
+// statement-list bodies.
+func (c *ctx) funcDef(p, x *cast.FuncDef) bool {
+	// Attributes: every pattern attribute must match a code attribute, in
+	// order.
+	ai := 0
+	for _, pa := range p.Attrs {
+		found := false
+		for ai < len(x.Attrs) {
+			na, nc := c.save()
+			if c.attr(pa, x.Attrs[ai]) {
+				found = true
+				ai++
+				break
+			}
+			c.restore(na, nc)
+			ai++
+		}
+		if !found {
+			return false
+		}
+	}
+	if !c.typ(p.Ret, x.Ret) {
+		return false
+	}
+	nf, _ := x.Name.Span()
+	if !c.name(p.Name, nf, x.Name.Name) {
+		return false
+	}
+	if !c.params(p.Params, x.Params) {
+		return false
+	}
+	if (p.Body == nil) != (x.Body == nil) {
+		return false
+	}
+	if p.Body != nil {
+		ok, _ := c.stmtSeq(p.Body.Items, x.Body.Items, true)
+		if !ok {
+			return false
+		}
+		c.pairNode(p.Body, x.Body)
+	}
+	c.pairNode(p, x)
+	return true
+}
+
+// attr matches one __attribute__((...)) specifier.
+func (c *ctx) attr(p, x *cast.Attr) bool {
+	if !c.exprList(p.Args, x.Args) {
+		return false
+	}
+	c.pairNode(p, x)
+	return true
+}
+
+// params matches parameter lists with SmPL wildcards.
+func (c *ctx) params(p, x *cast.ParamList) bool {
+	if p == nil || x == nil {
+		return p == x
+	}
+	if p.MetaDots {
+		c.pairNode(p, x)
+		return true
+	}
+	// A single parameter-list metavariable binds the whole list.
+	if len(p.Params) == 1 && p.Params[0].MetaName != "" {
+		cf, cl := x.Span()
+		// bind the inner range (exclude parens) when params exist
+		name := p.Params[0].MetaName
+		if len(x.Params) > 0 {
+			f, _ := x.Params[0].Span()
+			_, l := x.Params[len(x.Params)-1].Span()
+			if !c.bind(name, cast.MetaParamListKind, f, l) {
+				return false
+			}
+		} else {
+			if !c.bindValue(name, NewValueBinding(cast.MetaParamListKind, "")) {
+				return false
+			}
+		}
+		c.corr = append(c.corr, Pair{PF: mustSpanF(p.Params[0]), PL: mustSpanL(p.Params[0]), CF: cf + 1, CL: cl - 1})
+		c.pairNode(p, x)
+		return true
+	}
+	if len(p.Params) != len(x.Params) || p.Variadic != x.Variadic {
+		return false
+	}
+	for i := range p.Params {
+		pp, xp := p.Params[i], x.Params[i]
+		if pp.MetaName != "" {
+			f, l := xp.Span()
+			if !c.bind(pp.MetaName, cast.MetaParamListKind, f, l) {
+				return false
+			}
+			c.corr = append(c.corr, Pair{PF: mustSpanF(pp), PL: mustSpanL(pp), CF: f, CL: l})
+			continue
+		}
+		if !c.typ(pp.Type, xp.Type) {
+			return false
+		}
+		if (pp.Name == nil) != (xp.Name == nil) {
+			return false
+		}
+		if pp.Name != nil {
+			nf, _ := xp.Name.Span()
+			if !c.name(pp.Name, nf, xp.Name.Name) {
+				return false
+			}
+		}
+		c.pairNode(pp, xp)
+	}
+	c.pairNode(p, x)
+	return true
+}
+
+func mustSpanF(n cast.Node) int { f, _ := n.Span(); return f }
+func mustSpanL(n cast.Node) int { _, l := n.Span(); return l }
+
+var _ = smpl.Ctx // keep the smpl import for Pattern kinds used in match.go

@@ -1,0 +1,436 @@
+package match
+
+import (
+	"repro/internal/cast"
+	"repro/internal/ctoken"
+)
+
+// stripParens removes redundant parentheses (Coccinelle's paren isomorphism).
+func stripParens(e cast.Expr) cast.Expr {
+	for {
+		p, ok := e.(*cast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// expr matches a pattern expression against a code expression.
+func (c *ctx) expr(p, x cast.Expr) bool {
+	if p == nil || x == nil {
+		return p == nil && x == nil
+	}
+	x = stripParens(x)
+	switch pt := p.(type) {
+	case *cast.ParenExpr:
+		return c.expr(pt.X, x)
+	case *cast.Dots:
+		// wildcard expression
+		c.pairNode(pt, x)
+		return true
+	case *cast.DisjExpr:
+		for _, br := range pt.Branches {
+			na, nc := c.save()
+			if c.expr(br, x) {
+				c.pairNode(pt, x)
+				return true
+			}
+			c.restore(na, nc)
+		}
+		return false
+	case *cast.ConjExpr:
+		for _, op := range pt.Operands {
+			if !c.expr(op, x) {
+				return false
+			}
+		}
+		c.pairNode(pt, x)
+		return true
+	case *cast.MetaExpr:
+		return c.metaExpr(pt, x)
+	case *cast.Ident:
+		// A declared name parsed as a plain identifier still acts as a
+		// metavariable.
+		if d := c.metaDecl(pt.Name); d != nil {
+			me := &cast.MetaExpr{Name: pt.Name, Kind: d.Kind}
+			pf, pl := pt.Span()
+			ms := cast.NewSpan(pf, pl)
+			_ = ms
+			return c.metaExprAt(me, x, pf, pl)
+		}
+		id, ok := x.(*cast.Ident)
+		if !ok || id.Name != pt.Name {
+			return false
+		}
+		c.pairNode(pt, x)
+		return true
+	case *cast.BasicLit:
+		lit, ok := x.(*cast.BasicLit)
+		if !ok || lit.Value != pt.Value {
+			return false
+		}
+		c.pairNode(pt, x)
+		return true
+	case *cast.UnaryExpr:
+		u, ok := x.(*cast.UnaryExpr)
+		if !ok || u.Op != pt.Op || u.Postfix != pt.Postfix {
+			return false
+		}
+		if !c.expr(pt.X, u.X) {
+			return false
+		}
+		c.pairNode(pt, x)
+		return true
+	case *cast.BinaryExpr:
+		b, ok := x.(*cast.BinaryExpr)
+		if !ok || b.Op != pt.Op {
+			return false
+		}
+		if !c.expr(pt.X, b.X) || !c.expr(pt.Y, b.Y) {
+			return false
+		}
+		c.pairNode(pt, x)
+		return true
+	case *cast.CondExpr:
+		ce, ok := x.(*cast.CondExpr)
+		if !ok {
+			return false
+		}
+		if !c.expr(pt.Cond, ce.Cond) || !c.expr(pt.Then, ce.Then) || !c.expr(pt.Else, ce.Else) {
+			return false
+		}
+		c.pairNode(pt, x)
+		return true
+	case *cast.CallExpr:
+		call, ok := x.(*cast.CallExpr)
+		if !ok {
+			return false
+		}
+		if !c.expr(pt.Fun, call.Fun) {
+			return false
+		}
+		if !c.exprList(pt.Args, call.Args) {
+			return false
+		}
+		c.pairNode(pt, x)
+		return true
+	case *cast.IndexExpr:
+		idx, ok := x.(*cast.IndexExpr)
+		if !ok {
+			return false
+		}
+		if !c.expr(pt.X, idx.X) {
+			return false
+		}
+		if len(pt.Indices) != len(idx.Indices) {
+			return false
+		}
+		for i := range pt.Indices {
+			if !c.expr(pt.Indices[i], idx.Indices[i]) {
+				return false
+			}
+		}
+		c.pairNode(pt, x)
+		return true
+	case *cast.MemberExpr:
+		mem, ok := x.(*cast.MemberExpr)
+		if !ok || mem.Op != pt.Op {
+			return false
+		}
+		if !c.expr(pt.X, mem.X) {
+			return false
+		}
+		if d := c.metaDecl(pt.Name); d != nil && (d.Kind == cast.MetaIdentKind || d.Kind == cast.MetaFreshIdentKind) {
+			if !c.bind(pt.Name, d.Kind, mem.NameT, mem.NameT) {
+				return false
+			}
+		} else if mem.Name != pt.Name {
+			return false
+		}
+		c.pairNode(pt, x)
+		return true
+	case *cast.CastExpr:
+		ce, ok := x.(*cast.CastExpr)
+		if !ok {
+			return false
+		}
+		if !c.typ(pt.Type, ce.Type) || !c.expr(pt.X, ce.X) {
+			return false
+		}
+		c.pairNode(pt, x)
+		return true
+	case *cast.SizeofExpr:
+		se, ok := x.(*cast.SizeofExpr)
+		if !ok {
+			return false
+		}
+		if (pt.Type == nil) != (se.Type == nil) {
+			return false
+		}
+		if pt.Type != nil {
+			if !c.typ(pt.Type, se.Type) {
+				return false
+			}
+		} else if !c.expr(pt.X, se.X) {
+			return false
+		}
+		c.pairNode(pt, x)
+		return true
+	case *cast.CommaExpr:
+		cm, ok := x.(*cast.CommaExpr)
+		if !ok || len(cm.List) != len(pt.List) {
+			return false
+		}
+		for i := range pt.List {
+			if !c.expr(pt.List[i], cm.List[i]) {
+				return false
+			}
+		}
+		c.pairNode(pt, x)
+		return true
+	case *cast.InitList:
+		il, ok := x.(*cast.InitList)
+		if !ok {
+			return false
+		}
+		if !c.exprList(pt.Elems, il.Elems) {
+			return false
+		}
+		c.pairNode(pt, x)
+		return true
+	case *cast.KernelLaunch:
+		kl, ok := x.(*cast.KernelLaunch)
+		if !ok {
+			return false
+		}
+		if !c.expr(pt.Fun, kl.Fun) {
+			return false
+		}
+		if !c.exprList(pt.Config, kl.Config) || !c.exprList(pt.Args, kl.Args) {
+			return false
+		}
+		c.pairNode(pt, x)
+		return true
+	case *cast.LambdaExpr:
+		lm, ok := x.(*cast.LambdaExpr)
+		if !ok {
+			return false
+		}
+		if pt.Body != nil && lm.Body != nil {
+			ok, _ := c.stmtSeq(pt.Body.Items, lm.Body.Items, false)
+			if !ok {
+				return false
+			}
+		}
+		c.pairNode(pt, x)
+		return true
+	case *cast.Type:
+		t, ok := x.(*cast.Type)
+		if !ok {
+			return false
+		}
+		return c.typ(pt, t)
+	}
+	return false
+}
+
+// metaExpr matches a metavariable in expression position.
+func (c *ctx) metaExpr(pt *cast.MetaExpr, x cast.Expr) bool {
+	pf, pl := pt.Span()
+	return c.metaExprAt(pt, x, pf, pl)
+}
+
+func (c *ctx) metaExprAt(pt *cast.MetaExpr, x cast.Expr, pf, pl int) bool {
+	cf, cl := x.Span()
+	switch pt.Kind {
+	case cast.MetaIdentKind, cast.MetaFreshIdentKind, cast.MetaFuncKind:
+		id, ok := x.(*cast.Ident)
+		if !ok {
+			return false
+		}
+		_ = id
+	case cast.MetaConstKind:
+		lit, ok := x.(*cast.BasicLit)
+		if !ok {
+			return false
+		}
+		switch lit.Kind {
+		case ctoken.IntLit, ctoken.FloatLit, ctoken.CharLit, ctoken.StringLit:
+		default:
+			return false
+		}
+	case cast.MetaSymbolKind:
+		// `symbol a;` declares a plain identifier named like the
+		// metavariable itself.
+		id, ok := x.(*cast.Ident)
+		if !ok || id.Name != pt.Name {
+			return false
+		}
+		c.corr = append(c.corr, Pair{PF: pf, PL: pl, CF: cf, CL: cl})
+		return c.bindPositions(pt.Positions, cf)
+	case cast.MetaTypeKind:
+		t, ok := x.(*cast.Type)
+		if !ok {
+			return false
+		}
+		_ = t
+	case cast.MetaExprKind, cast.MetaExprListKind:
+		// any expression
+	case cast.MetaStmtKind, cast.MetaStmtListKind, cast.MetaParamListKind,
+		cast.MetaPosKind, cast.MetaPragmaInfoKind:
+		return false
+	}
+	if !c.bind(pt.Name, pt.Kind, cf, cl) {
+		return false
+	}
+	c.corr = append(c.corr, Pair{PF: pf, PL: pl, CF: cf, CL: cl})
+	return c.bindPositions(pt.Positions, cf)
+}
+
+// exprList matches an argument/element list with dots and expression-list
+// metavariables.
+func (c *ctx) exprList(pats, xs []cast.Expr) bool {
+	if len(pats) == 0 {
+		return len(xs) == 0
+	}
+	p0 := pats[0]
+	switch pt := p0.(type) {
+	case *cast.Dots:
+		// try consuming 0..len(xs) arguments
+		for k := 0; k <= len(xs); k++ {
+			na, nc := c.save()
+			c.recordGapPair(pt, xs, k)
+			if c.exprList(pats[1:], xs[k:]) {
+				return true
+			}
+			c.restore(na, nc)
+		}
+		return false
+	case *cast.MetaExpr:
+		if pt.Kind == cast.MetaExprListKind {
+			for k := len(xs); k >= 0; k-- {
+				na, nc := c.save()
+				if c.bindRange(pt, xs, k) && c.exprList(pats[1:], xs[k:]) {
+					return true
+				}
+				c.restore(na, nc)
+			}
+			return false
+		}
+	}
+	if len(xs) == 0 {
+		return false
+	}
+	na, nc := c.save()
+	if !c.expr(p0, xs[0]) {
+		c.restore(na, nc)
+		return false
+	}
+	if !c.exprList(pats[1:], xs[1:]) {
+		c.restore(na, nc)
+		return false
+	}
+	return true
+}
+
+// recordGapPair records the code range consumed by dots over k elements.
+func (c *ctx) recordGapPair(p cast.Node, xs []cast.Expr, k int) {
+	pf, pl := p.Span()
+	if k == 0 {
+		// empty: anchor just before the next element (or nothing)
+		anchor := -1
+		if len(xs) > 0 {
+			f, _ := xs[0].Span()
+			anchor = f
+		}
+		c.corr = append(c.corr, Pair{PF: pf, PL: pl, CF: anchor, CL: anchor - 1})
+		return
+	}
+	f, _ := xs[0].Span()
+	_, l := xs[k-1].Span()
+	c.corr = append(c.corr, Pair{PF: pf, PL: pl, CF: f, CL: l})
+}
+
+// bindRange binds an expression-list metavariable to the first k elements.
+func (c *ctx) bindRange(pt *cast.MetaExpr, xs []cast.Expr, k int) bool {
+	pf, pl := pt.Span()
+	if k == 0 {
+		if !c.bindValue(pt.Name, NewValueBinding(pt.Kind, "")) {
+			return false
+		}
+		c.corr = append(c.corr, Pair{PF: pf, PL: pl, CF: -1, CL: -2})
+		return true
+	}
+	f, _ := xs[0].Span()
+	_, l := xs[k-1].Span()
+	if !c.bind(pt.Name, pt.Kind, f, l) {
+		return false
+	}
+	c.corr = append(c.corr, Pair{PF: pf, PL: pl, CF: f, CL: l})
+	return true
+}
+
+// typ matches a pattern type against a code type.
+func (c *ctx) typ(p, x *cast.Type) bool {
+	if p == nil || x == nil {
+		return p == x
+	}
+	// Type metavariable?
+	if d := c.metaDecl(p.Base); d != nil && d.Kind == cast.MetaTypeKind {
+		cf, cl := x.Span()
+		if !c.bind(p.Base, cast.MetaTypeKind, cf, cl) {
+			return false
+		}
+		// pointer/ref structure outside the metavariable must agree
+		if p.Stars != 0 && p.Stars != x.Stars {
+			return false
+		}
+		c.pairNode(p, x)
+		return true
+	}
+	if p.Base != x.Base || p.Stars != x.Stars || p.Ref != x.Ref {
+		return false
+	}
+	if len(p.Quals) != len(x.Quals) {
+		return false
+	}
+	for i := range p.Quals {
+		if p.Quals[i] != x.Quals[i] {
+			return false
+		}
+	}
+	c.pairNode(p, x)
+	return true
+}
+
+// name matches a declared identifier (pattern *cast.Ident) that may be a
+// metavariable.
+func (c *ctx) name(p *cast.Ident, codeTok int, codeName string) bool {
+	if d := c.metaDecl(p.Name); d != nil {
+		switch d.Kind {
+		case cast.MetaIdentKind, cast.MetaFuncKind, cast.MetaFreshIdentKind, cast.MetaExprKind:
+			if !c.bind(p.Name, d.Kind, codeTok, codeTok) {
+				return false
+			}
+			pf, pl := p.Span()
+			c.corr = append(c.corr, Pair{PF: pf, PL: pl, CF: codeTok, CL: codeTok})
+			return true
+		case cast.MetaSymbolKind:
+			if codeName != p.Name {
+				return false
+			}
+			pf, pl := p.Span()
+			c.corr = append(c.corr, Pair{PF: pf, PL: pl, CF: codeTok, CL: codeTok})
+			return true
+		default:
+			return false
+		}
+	}
+	if codeName != p.Name {
+		return false
+	}
+	pf, pl := p.Span()
+	c.corr = append(c.corr, Pair{PF: pf, PL: pl, CF: codeTok, CL: codeTok})
+	return true
+}

@@ -1,0 +1,392 @@
+// Package match implements SmPL pattern matching against C/C++ syntax trees.
+// A match binds metavariables to code fragments and records a correspondence
+// between pattern tokens and code tokens; the correspondence is what lets the
+// transformer delete exactly the code tokens that '-' pattern tokens matched
+// and anchor '+' insertions at the right code positions.
+package match
+
+import (
+	"strings"
+
+	"repro/internal/cast"
+	"repro/internal/ctoken"
+	"repro/internal/smpl"
+)
+
+// Binding is the value of one metavariable.
+type Binding struct {
+	Kind cast.MetaKind
+	// Text is the exact source text of the bound fragment (or the
+	// synthesized value for script/fresh bindings).
+	Text string
+	// Norm is the whitespace-normalized text used for consistency checks.
+	Norm string
+	// First/Last are the code token range; -1/-2 when synthesized.
+	First, Last int
+	// TokIdx is the anchor token for position bindings.
+	TokIdx int
+	// File is the source file name the binding came from.
+	File string
+}
+
+// Synthesized reports whether the binding has no code token range.
+func (b Binding) Synthesized() bool { return b.First < 0 }
+
+// NewValueBinding makes a synthesized binding (script outputs, fresh ids).
+func NewValueBinding(kind cast.MetaKind, text string) Binding {
+	return Binding{Kind: kind, Text: text, Norm: text, First: -1, Last: -2}
+}
+
+// Env maps metavariable names (local to a rule) to bindings.
+type Env map[string]Binding
+
+// Clone copies the environment.
+func (e Env) Clone() Env {
+	out := make(Env, len(e))
+	for k, v := range e {
+		out[k] = v
+	}
+	return out
+}
+
+// Pair records that pattern tokens [PF,PL] matched code tokens [CF,CL].
+// An empty code range (CL<CF) is legal: dots that consumed nothing.
+type Pair struct{ PF, PL, CF, CL int }
+
+// Match is one successful pattern application.
+type Match struct {
+	Env   Env
+	Corr  []Pair
+	First int // first code token covered
+	Last  int // last code token covered
+}
+
+// Matcher runs one rule's pattern over one file.
+type Matcher struct {
+	Pat   *smpl.Pattern
+	Metas *smpl.MetaTable
+	Code  *cast.File
+	// Inherited holds pre-bound metavariables (local names).
+	Inherited Env
+	// MaxMatches caps the result list (0 = unlimited).
+	MaxMatches int
+}
+
+// ctx is the per-attempt mutable state with undo support.
+type ctx struct {
+	m    *Matcher
+	env  Env
+	adds []string // keys added to env, for rollback
+	corr []Pair
+}
+
+func (c *ctx) save() (int, int) { return len(c.adds), len(c.corr) }
+
+func (c *ctx) restore(na, nc int) {
+	for i := len(c.adds) - 1; i >= na; i-- {
+		delete(c.env, c.adds[i])
+	}
+	c.adds = c.adds[:na]
+	c.corr = c.corr[:nc]
+}
+
+func (c *ctx) pair(p cast.Node, first, last int) {
+	pf, pl := p.Span()
+	c.corr = append(c.corr, Pair{PF: pf, PL: pl, CF: first, CL: last})
+}
+
+func (c *ctx) pairNode(p, code cast.Node) {
+	cf, cl := code.Span()
+	c.pair(p, cf, cl)
+}
+
+// norm produces the canonical text of a code token range.
+func norm(f *ctoken.File, first, last int) string {
+	if last < first {
+		return ""
+	}
+	var sb strings.Builder
+	for i := first; i <= last && i < len(f.Tokens); i++ {
+		if i > first {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(f.Tokens[i].Text)
+	}
+	return sb.String()
+}
+
+// bind records name := code range with consistency and constraint checks.
+func (c *ctx) bind(name string, kind cast.MetaKind, first, last int) bool {
+	n := norm(c.m.Code.Toks, first, last)
+	return c.bindValue(name, Binding{
+		Kind: kind, Text: c.m.Code.Toks.Slice(first, last), Norm: n,
+		First: first, Last: last, File: c.m.Code.Name,
+	})
+}
+
+func (c *ctx) bindValue(name string, b Binding) bool {
+	if prev, ok := c.env[name]; ok {
+		return prev.Norm == b.Norm
+	}
+	if inh, ok := c.m.Inherited[name]; ok {
+		if inh.Kind == cast.MetaPosKind {
+			if b.Kind == cast.MetaPosKind && (inh.File != b.File || inh.TokIdx != b.TokIdx) {
+				return false
+			}
+		} else if inh.Norm != b.Norm {
+			return false
+		}
+	}
+	if !c.checkConstraints(name, b) {
+		return false
+	}
+	c.env[name] = b
+	c.adds = append(c.adds, name)
+	return true
+}
+
+// checkConstraints enforces regex and value-set restrictions from the
+// metavariable declaration.
+func (c *ctx) checkConstraints(name string, b Binding) bool {
+	d, ok := c.m.Metas.Decl(name)
+	if !ok {
+		return true
+	}
+	if d.Regex != nil && !d.Regex.MatchString(b.Norm) {
+		return false
+	}
+	if len(d.Values) > 0 {
+		for _, v := range d.Values {
+			if b.Norm == v {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// bindPositions records position metavariables attached with @p.
+func (c *ctx) bindPositions(names []string, tokIdx int) bool {
+	for _, p := range names {
+		tok := c.m.Code.Toks.Tokens[tokIdx]
+		b := Binding{
+			Kind: cast.MetaPosKind, TokIdx: tokIdx, First: tokIdx, Last: tokIdx,
+			File: c.m.Code.Name,
+			Text: c.m.Code.Name + ":" + tok.Pos.String(),
+			Norm: c.m.Code.Name + ":" + tok.Pos.String(),
+		}
+		if inh, ok := c.m.Inherited[p]; ok && inh.Kind == cast.MetaPosKind {
+			if inh.File != b.File || inh.TokIdx != b.TokIdx {
+				return false
+			}
+		}
+		if !c.bindValue(p, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// metaDecl looks up the declaration behind an identifier used in the
+// pattern; plain names return nil.
+func (c *ctx) metaDecl(name string) *smpl.MetaDecl {
+	d, ok := c.m.Metas.Decl(name)
+	if !ok {
+		return nil
+	}
+	return d
+}
+
+// finish converts ctx state into a Match.
+func (c *ctx) finish() Match {
+	first, last := -1, -1
+	for _, p := range c.corr {
+		if p.CL < p.CF {
+			continue
+		}
+		if first < 0 || p.CF < first {
+			first = p.CF
+		}
+		if p.CL > last {
+			last = p.CL
+		}
+	}
+	env := c.env.Clone()
+	corr := make([]Pair, len(c.corr))
+	copy(corr, c.corr)
+	return Match{Env: env, Corr: corr, First: first, Last: last}
+}
+
+func (m *Matcher) newCtx() *ctx {
+	return &ctx{m: m, env: Env{}}
+}
+
+// ExprOccurs reports whether the pattern expression matches any
+// subexpression of root, with inherited bindings enforced. It is the probe
+// the engine's CTL verification uses for `when != e` node predicates.
+func (m *Matcher) ExprOccurs(pe cast.Expr, root cast.Node) bool {
+	for _, sub := range cast.Exprs(root) {
+		c := m.newCtx()
+		if c.expr(pe, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// FindAll returns every match of the pattern in the file.
+func (m *Matcher) FindAll() []Match {
+	var out []Match
+	add := func(mt Match) bool {
+		out = append(out, mt)
+		return m.MaxMatches > 0 && len(out) >= m.MaxMatches
+	}
+	switch m.Pat.Kind {
+	case smpl.ExprPattern:
+		for _, e := range cast.Exprs(m.Code) {
+			c := m.newCtx()
+			if c.expr(m.Pat.Expr, e) {
+				if add(c.finish()) {
+					return out
+				}
+			}
+		}
+	case smpl.StmtSeqPattern:
+		for _, seq := range stmtContexts(m.Code) {
+			for start := 0; start <= len(seq); start++ {
+				c := m.newCtx()
+				if ok, _ := c.stmtSeq(m.Pat.Stmts, seq[min(start, len(seq)):], false); ok {
+					if add(c.finish()) {
+						return out
+					}
+				}
+				if start >= len(seq) {
+					break
+				}
+				// Patterns that begin with dots are anchored once.
+				if len(m.Pat.Stmts) > 0 {
+					if _, isDots := m.Pat.Stmts[0].(*cast.Dots); isDots && start == 0 {
+						break
+					}
+				}
+			}
+		}
+	case smpl.DeclPattern:
+		out = append(out, m.findDecls()...)
+		if m.MaxMatches > 0 && len(out) > m.MaxMatches {
+			out = out[:m.MaxMatches]
+		}
+	}
+	return dedupMatches(out)
+}
+
+// stmtContexts enumerates every statement list in the file: compound bodies
+// plus singleton lists for bare (unbraced) bodies.
+func stmtContexts(f *cast.File) [][]cast.Stmt {
+	var out [][]cast.Stmt
+	cast.Walk(f, func(n cast.Node) bool {
+		switch x := n.(type) {
+		case *cast.Compound:
+			out = append(out, x.Items)
+		case *cast.If:
+			out = append(out, bareBody(x.Then)...)
+			out = append(out, bareBody(x.Else)...)
+		case *cast.For:
+			out = append(out, bareBody(x.Body)...)
+		case *cast.RangeFor:
+			out = append(out, bareBody(x.Body)...)
+		case *cast.While:
+			out = append(out, bareBody(x.Body)...)
+		case *cast.DoWhile:
+			out = append(out, bareBody(x.Body)...)
+		case *cast.Label:
+			out = append(out, bareBody(x.Stmt)...)
+		}
+		return true
+	})
+	return out
+}
+
+func bareBody(s cast.Stmt) [][]cast.Stmt {
+	if s == nil {
+		return nil
+	}
+	if _, ok := s.(*cast.Compound); ok {
+		return nil // already walked
+	}
+	return [][]cast.Stmt{{s}}
+}
+
+// dedupMatches removes duplicate matches covering the identical code span
+// with identical environments.
+func dedupMatches(ms []Match) []Match {
+	seen := map[string]bool{}
+	var out []Match
+	for _, m := range ms {
+		key := matchKey(m)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, m)
+	}
+	return out
+}
+
+func matchKey(m Match) string {
+	var sb strings.Builder
+	sb.WriteString(itoa(m.First))
+	sb.WriteByte(':')
+	sb.WriteString(itoa(m.Last))
+	// environments sorted deterministically
+	keys := make([]string, 0, len(m.Env))
+	for k := range m.Env {
+		keys = append(keys, k)
+	}
+	sortStrings(keys)
+	for _, k := range keys {
+		sb.WriteByte(';')
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(m.Env[k].Norm)
+	}
+	return sb.String()
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	var buf [20]byte
+	p := len(buf)
+	for i > 0 {
+		p--
+		buf[p] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		p--
+		buf[p] = '-'
+	}
+	return string(buf[p:])
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

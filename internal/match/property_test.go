@@ -1,0 +1,134 @@
+package match
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/codegen"
+	"repro/internal/cparse"
+	"repro/internal/smpl"
+)
+
+// Property: FindAll is deterministic — two runs over the same input yield
+// identical match sets.
+func TestQuickFindAllDeterministic(t *testing.T) {
+	patchText := "@r@\ntype T;\nidentifier f;\nparameter list PL;\nstatement list SL;\n@@\nT f (PL) { SL }\n"
+	p, err := smpl.ParsePatch("d.cocci", patchText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(funcs uint8, seed int64) bool {
+		src := codegen.Mixed(codegen.Config{Funcs: int(funcs%5) + 1, StmtsPerFunc: 2, Seed: seed})
+		f, err := cparse.Parse("q.c", src, cparse.Options{CPlusPlus: true, CUDA: true})
+		if err != nil {
+			return false
+		}
+		mk := func() string {
+			m := &Matcher{Pat: p.Rules[0].Pattern, Metas: smpl.NewMetaTable(p.Rules[0].Metas), Code: f}
+			sig := ""
+			for _, mt := range m.FindAll() {
+				sig += fmt.Sprintf("%d-%d;%s|", mt.First, mt.Last, mt.Env["f"].Norm)
+			}
+			return sig
+		}
+		return mk() == mk()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every match's environment is internally consistent — a
+// metavariable bound twice in one pattern always reports a single Norm.
+func TestQuickEnvConsistency(t *testing.T) {
+	patchText := "@r@\nexpression e;\n@@\ne + e\n"
+	p, err := smpl.ParsePatch("c.cocci", patchText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(vals []uint8) bool {
+		src := "void f(void){\n"
+		for i, v := range vals {
+			if i > 4 {
+				break
+			}
+			src += fmt.Sprintf("\tx%d = a%d + a%d;\n\ty%d = a%d + b%d;\n", i, v%7, v%7, i, v%7, v%5)
+		}
+		src += "}\n"
+		f, err := cparse.Parse("q.c", src, cparse.Options{})
+		if err != nil {
+			return false
+		}
+		m := &Matcher{Pat: p.Rules[0].Pattern, Metas: smpl.NewMetaTable(p.Rules[0].Metas), Code: f}
+		for _, mt := range m.FindAll() {
+			// e+e matched: both operand texts must equal the binding
+			b := mt.Env["e"]
+			sub := f.Toks.Slice(mt.First, mt.Last)
+			if sub == "" || b.Norm == "" {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: match spans never exceed file bounds and First <= Last.
+func TestQuickSpanBounds(t *testing.T) {
+	patchText := "@r@\nidentifier fn;\nexpression list el;\n@@\nfn(el)\n"
+	p, err := smpl.ParsePatch("s.cocci", patchText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		src := codegen.OpenMP(codegen.Config{Funcs: 2, StmtsPerFunc: 2, Seed: seed})
+		f, err := cparse.Parse("q.c", src, cparse.Options{})
+		if err != nil {
+			return false
+		}
+		m := &Matcher{Pat: p.Rules[0].Pattern, Metas: smpl.NewMetaTable(p.Rules[0].Metas), Code: f}
+		for _, mt := range m.FindAll() {
+			if mt.First < 0 || mt.Last >= len(f.Toks.Tokens) || mt.First > mt.Last {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the resolver never returns ranges outside the match span.
+func TestQuickResolverBounds(t *testing.T) {
+	patchText := "@r@\ntype T;\nidentifier i,l;\nconstant k={4};\n@@\nfor (T i=0; i+k-1 < l ; i+=k) { ... }\n"
+	p, err := smpl.ParsePatch("r.cocci", patchText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(seed int64) bool {
+		src := codegen.Unrolled(codegen.Config{Funcs: 2, StmtsPerFunc: 1, Seed: seed})
+		f, err := cparse.Parse("q.c", src, cparse.Options{})
+		if err != nil {
+			return false
+		}
+		m := &Matcher{Pat: p.Rules[0].Pattern, Metas: smpl.NewMetaTable(p.Rules[0].Metas), Code: f}
+		for _, mt := range m.FindAll() {
+			res := NewResolver(&mt)
+			for ti := range p.Rules[0].Pattern.Toks.Tokens {
+				for _, rng := range res.Ranges(ti) {
+					if rng[0] < mt.First || rng[1] > mt.Last {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+package match
+
+import "sort"
+
+// Resolver answers "which code tokens correspond to pattern token i" for one
+// match, using the recorded node-level pairs plus positional gap alignment.
+// The transformer uses it to delete exactly the code tokens behind minus
+// pattern tokens and to anchor plus-line insertions.
+type Resolver struct {
+	pairs []Pair
+	// children[i] lists indices of pairs directly contained in pairs[i].
+	children [][]int
+	// roots are top-level pairs.
+	roots []int
+}
+
+// NewResolver builds the containment tree over the match's pairs.
+func NewResolver(m *Match) *Resolver {
+	ps := make([]Pair, len(m.Corr))
+	copy(ps, m.Corr)
+	// Pre-order sort: by start ascending, then wider spans first, so a
+	// linear scan with a stack of open pairs reconstructs the nesting.
+	sort.SliceStable(ps, func(i, j int) bool {
+		if ps[i].PF != ps[j].PF {
+			return ps[i].PF < ps[j].PF
+		}
+		return ps[i].PL > ps[j].PL
+	})
+	r := &Resolver{pairs: ps, children: make([][]int, len(ps))}
+	// Build tree by scanning outermost-first with a stack of open pairs.
+	var stack []int
+	for i := range ps {
+		for len(stack) > 0 {
+			top := stack[len(stack)-1]
+			if contains(ps[top], ps[i]) {
+				break
+			}
+			stack = stack[:len(stack)-1]
+		}
+		if len(stack) == 0 {
+			r.roots = append(r.roots, i)
+		} else {
+			top := stack[len(stack)-1]
+			r.children[top] = append(r.children[top], i)
+		}
+		stack = append(stack, i)
+	}
+	for i := range r.children {
+		sort.SliceStable(r.children[i], func(a, b int) bool {
+			return ps[r.children[i][a]].PF < ps[r.children[i][b]].PF
+		})
+	}
+	return r
+}
+
+// contains reports whether outer strictly contains inner in pattern space
+// (equal spans count as containing to keep duplicates nested).
+func contains(outer, inner Pair) bool {
+	return outer.PF <= inner.PF && inner.PL <= outer.PL &&
+		!(outer.PF == inner.PF && outer.PL == inner.PL)
+}
+
+// Ranges returns every code token range that corresponds to pattern token t.
+// Multiple ranges occur when a conjunction matched several occurrences of a
+// subexpression.
+func (r *Resolver) Ranges(t int) [][2]int {
+	var out [][2]int
+	seen := map[[2]int]bool{}
+	for _, root := range r.roots {
+		if r.pairs[root].PF <= t && t <= r.pairs[root].PL {
+			for _, rng := range r.resolveIn(root, t) {
+				if !seen[rng] {
+					seen[rng] = true
+					out = append(out, rng)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// resolveIn maps pattern token t within pair pi to code ranges.
+func (r *Resolver) resolveIn(pi int, t int) [][2]int {
+	p := r.pairs[pi]
+	// Descend into every child containing t (duplicated pattern spans from
+	// conjunction occurrences all contribute).
+	var out [][2]int
+	descended := false
+	for _, ci := range r.children[pi] {
+		cp := r.pairs[ci]
+		if cp.PF <= t && t <= cp.PL {
+			descended = true
+			out = append(out, r.resolveIn(ci, t)...)
+		}
+	}
+	if descended {
+		return out
+	}
+	if p.CL < p.CF {
+		return nil // empty code range (dots over nothing)
+	}
+	// t sits in a gap of this pair: align pattern gap tokens to code gap
+	// tokens positionally.
+	pGaps, cGaps := r.gaps(pi)
+	for gi := range pGaps {
+		pg := pGaps[gi]
+		if t < pg[0] || t > pg[1] {
+			continue
+		}
+		if gi >= len(cGaps) {
+			// No code tokens correspond to this pattern gap: tokens of an
+			// untaken disjunction branch, or separators whose statement is
+			// fully covered by sibling pairs. Nothing to edit.
+			return nil
+		}
+		cg := cGaps[gi]
+		pLen := pg[1] - pg[0] + 1
+		cLen := cg[1] - cg[0] + 1
+		if pLen == cLen {
+			off := t - pg[0]
+			return [][2]int{{cg[0] + off, cg[0] + off}}
+		}
+		// counts differ (isomorphism absorbed tokens): map the whole gap
+		if cLen <= 0 {
+			return nil
+		}
+		return [][2]int{cg}
+	}
+	// No gap found (e.g. leaf pair): whole range.
+	return [][2]int{{p.CF, p.CL}}
+}
+
+// gaps computes the pattern-token and code-token gap segments of pair pi:
+// the tokens inside the pair not covered by any child pair.
+func (r *Resolver) gaps(pi int) (pGaps, cGaps [][2]int) {
+	p := r.pairs[pi]
+	// Merge child spans (pattern side and code side separately).
+	type span struct{ f, l int }
+	var pc, cc []span
+	for _, ci := range r.children[pi] {
+		cp := r.pairs[ci]
+		pc = append(pc, span{cp.PF, cp.PL})
+		if cp.CL >= cp.CF {
+			cc = append(cc, span{cp.CF, cp.CL})
+		}
+	}
+	merge := func(spans []span, lo, hi int) [][2]int {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].f < spans[j].f })
+		var out [][2]int
+		cur := lo
+		for _, s := range spans {
+			if s.f > cur {
+				out = append(out, [2]int{cur, s.f - 1})
+			}
+			if s.l+1 > cur {
+				cur = s.l + 1
+			}
+		}
+		if cur <= hi {
+			out = append(out, [2]int{cur, hi})
+		}
+		return out
+	}
+	return merge(pc, p.PF, p.PL), merge(cc, p.CF, p.CL)
+}
+
+// AnchorAfter resolves the code token after which an insertion anchored at
+// pattern token t should be placed: the last code token corresponding to t,
+// or, when t resolves to nothing, the nearest preceding resolvable token.
+func (r *Resolver) AnchorAfter(t int) (int, bool) {
+	for i := t; i >= 0; i-- {
+		rngs := r.Ranges(i)
+		best := -1
+		for _, rng := range rngs {
+			if rng[1] >= best {
+				best = rng[1]
+			}
+		}
+		if best >= 0 {
+			return best, true
+		}
+		// empty dots ranges: fall through to earlier tokens
+	}
+	return 0, false
+}
+
+// AnchorBefore resolves the code token before which an insertion anchored at
+// pattern token t should be placed.
+func (r *Resolver) AnchorBefore(t, patTokens int) (int, bool) {
+	for i := t; i < patTokens; i++ {
+		rngs := r.Ranges(i)
+		best := -1
+		for _, rng := range rngs {
+			if best < 0 || rng[0] < best {
+				best = rng[0]
+			}
+		}
+		if best >= 0 {
+			return best, true
+		}
+	}
+	return 0, false
+}

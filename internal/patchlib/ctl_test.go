@@ -1,0 +1,49 @@
+package patchlib
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/smpl"
+)
+
+// Every experiment must also pass with the CTL dots backend enabled: the
+// path-sensitive verification is a filter on top of the syntactic matcher
+// and may never change a correct transformation into a wrong one.
+func TestAllExperimentsUnderCTL(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			p, err := smpl.ParsePatch(e.ID+".cocci", e.Patch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := e.Opts
+			opts.UseCTL = true
+			eng := core.New(p, opts)
+			if e.Setup != nil {
+				e.Setup(eng)
+			}
+			name := e.ID + ".c"
+			res, err := eng.Run([]core.SourceFile{{Name: name, Src: e.Input()}})
+			if err != nil {
+				t.Fatalf("%s under CTL: %v", e.ID, err)
+			}
+			if e.Check != nil {
+				if cerr := e.Check(res.Outputs[name], res); cerr != nil {
+					t.Fatalf("%s under CTL: %v", e.ID, cerr)
+				}
+			}
+		})
+	}
+}
+
+// The experiments' patches must parse as standalone .cocci files through
+// the public entry point (no hidden coupling to engine setup).
+func TestAllPatchesParseStandalone(t *testing.T) {
+	for _, e := range Experiments() {
+		if _, err := smpl.ParsePatch(e.ID+".cocci", e.Patch); err != nil {
+			t.Errorf("%s: %v", e.ID, err)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package smpl
+
+import (
+	"strings"
+
+	"repro/internal/cast"
+	"repro/internal/cparse"
+	"repro/internal/ctoken"
+)
+
+// patternParseOpts is the dialect used for pattern bodies: a superset of
+// everything the listings exercise.
+func patternParseOpts(meta *MetaTable) cparse.Options {
+	return cparse.Options{CPlusPlus: true, Std: 23, CUDA: true, Meta: meta}
+}
+
+// CompileBody classifies the rule body's lines, builds the minus slice,
+// extracts plus blocks, and parses the slice into a pattern.
+func CompileBody(file string, r *Rule) (*Pattern, error) {
+	lines := strings.Split(r.Body, "\n")
+	pat := &Pattern{LineMarks: make([]Mark, len(lines))}
+
+	var minus []string
+	for i, l := range lines {
+		switch {
+		case strings.HasPrefix(l, "+"):
+			pat.LineMarks[i] = Plus
+			pat.HasTransform = true
+			minus = append(minus, "")
+		case strings.HasPrefix(l, "-"):
+			pat.LineMarks[i] = Minus
+			pat.HasTransform = true
+			minus = append(minus, " "+l[1:])
+		default:
+			pat.LineMarks[i] = Ctx
+			minus = append(minus, l)
+		}
+	}
+
+	// Plus blocks: consecutive + lines share one anchor.
+	i := 0
+	for i < len(lines) {
+		if pat.LineMarks[i] != Plus {
+			i++
+			continue
+		}
+		blk := PlusBlock{AnchorLine: -1, FollowLine: -1}
+		for j := i - 1; j >= 0; j-- {
+			if pat.LineMarks[j] != Plus && strings.TrimSpace(lines[j]) != "" {
+				blk.AnchorLine = j
+				break
+			}
+		}
+		for i < len(lines) && pat.LineMarks[i] == Plus {
+			blk.Text = append(blk.Text, stripPlus(lines[i]))
+			i++
+		}
+		for j := i; j < len(lines); j++ {
+			if pat.LineMarks[j] != Plus && strings.TrimSpace(lines[j]) != "" {
+				blk.FollowLine = j
+				break
+			}
+		}
+		pat.PlusBlocks = append(pat.PlusBlocks, blk)
+	}
+
+	// Lex the minus slice once; every parse attempt shares the token file so
+	// pattern node spans always index into pat.Toks.
+	sliceText := strings.Join(minus, "\n")
+	meta := NewMetaTable(r.Metas)
+	lf, err := ctoken.Lex(file+"@"+r.Name, sliceText, ctoken.Options{SmPL: true, CUDAChevrons: true})
+	if err != nil {
+		return nil, &SyntaxError{File: file, Msg: "lexing rule " + r.Name + ": " + err.Error()}
+	}
+	pat.Toks = lf
+	opts := patternParseOpts(meta)
+
+	// Empty pattern (script-less rule with only + lines and no context)
+	// cannot be matched.
+	onlyEOF := len(lf.Tokens) == 1
+	if onlyEOF {
+		return nil, &SyntaxError{File: file, Msg: "rule " + r.Name + " has an empty match pattern"}
+	}
+
+	// Try: declaration-level, then statement-level, then expression.
+	if f, derr := cparse.ParseTokens(lf, opts); derr == nil && len(f.Decls) > 0 {
+		pat.Kind = DeclPattern
+		pat.Decls = f.Decls
+		return pat, nil
+	}
+	if stmts, serr := cparse.ParseStmtsTokens(lf, opts); serr == nil && len(stmts) > 0 {
+		// A single expression statement without a terminating semicolon is
+		// an expression pattern (Coccinelle distinguishes by the ';').
+		// Likewise a disjunction whose branches are all bare expressions.
+		if len(stmts) == 1 {
+			if e, ok := bareExpr(lf, stmts[0]); ok {
+				pat.Kind = ExprPattern
+				pat.Expr = e
+				return pat, nil
+			}
+		}
+		pat.Kind = StmtSeqPattern
+		pat.Stmts = stmts
+		return pat, nil
+	}
+	e, eerr := cparse.ParseExprTokens(lf, opts)
+	if eerr != nil {
+		return nil, &SyntaxError{File: file, Msg: "cannot parse body of rule " + r.Name + ": " + eerr.Error()}
+	}
+	pat.Kind = ExprPattern
+	pat.Expr = e
+	return pat, nil
+}
+
+// stripPlus removes the leading '+' and at most one following space,
+// preserving deeper indentation of the inserted line.
+func stripPlus(l string) string {
+	l = strings.TrimPrefix(l, "+")
+	if strings.HasPrefix(l, " ") {
+		l = l[1:]
+	}
+	return l
+}
+
+// bareExpr recognizes statement trees that are really expression patterns:
+// an ExprStmt with no ';', or a disjunction of such branches.
+func bareExpr(lf *ctoken.File, s cast.Stmt) (cast.Expr, bool) {
+	switch x := s.(type) {
+	case *cast.ExprStmt:
+		_, last := x.Span()
+		if lf.Tokens[last].Is(";") {
+			return nil, false
+		}
+		return x.X, true
+	case *cast.DisjStmt:
+		d := &cast.DisjExpr{}
+		for _, br := range x.Branches {
+			if len(br) != 1 {
+				return nil, false
+			}
+			e, ok := bareExpr(lf, br[0])
+			if !ok {
+				return nil, false
+			}
+			d.Branches = append(d.Branches, e)
+		}
+		f, l := x.Span()
+		sp := cast.NewSpan(f, l)
+		_ = sp
+		dd := *d
+		ddp := &dd
+		setDisjSpan(ddp, f, l)
+		return ddp, true
+	}
+	return nil, false
+}
+
+func setDisjSpan(d *cast.DisjExpr, f, l int) {
+	type spanner interface{ SetSpan(int, int) }
+	if s, ok := any(d).(spanner); ok {
+		s.SetSpan(f, l)
+	}
+}

@@ -1,0 +1,101 @@
+package smpl
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// corpus of valid patches used as mutation seeds.
+var seedPatches = []string{
+	"@r@\nexpression e;\n@@\n- f(e)\n+ g(e)\n",
+	"@a@\ntype T;\nidentifier f;\nparameter list PL;\nstatement list SL;\n@@\nT f (PL) { SL }\n",
+	"@p@\npragmainfo pi;\n@@\n#pragma acc pi\n",
+	"@s@\nconstant k={4};\nstatement A;\n@@\n\\( A \\& k \\)\n",
+	"@d depends on p@\n@@\n- x();\n",
+}
+
+// Property: ParsePatch never panics, whatever mutation we apply; it either
+// succeeds or returns a SyntaxError-ish error.
+func TestQuickParseNeverPanics(t *testing.T) {
+	mutate := func(s string, a, b uint8) string {
+		if len(s) == 0 {
+			return s
+		}
+		i := int(a) % len(s)
+		switch b % 4 {
+		case 0: // delete a byte
+			return s[:i] + s[i+1:]
+		case 1: // duplicate a byte
+			return s[:i] + string(s[i]) + s[i:]
+		case 2: // flip to an interesting char
+			chars := "@+-(){}|&\\.;"
+			return s[:i] + string(chars[int(b)%len(chars)]) + s[i+1:]
+		default: // truncate
+			return s[:i]
+		}
+	}
+	prop := func(pick, a, b uint8) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on mutated patch: %v", r)
+				ok = false
+			}
+		}()
+		src := mutate(seedPatches[int(pick)%len(seedPatches)], a, b)
+		_, _ = ParsePatch("fuzz.cocci", src)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parsing is deterministic.
+func TestQuickParseDeterministic(t *testing.T) {
+	prop := func(pick uint8) bool {
+		src := seedPatches[int(pick)%len(seedPatches)]
+		p1, e1 := ParsePatch("a.cocci", src)
+		p2, e2 := ParsePatch("a.cocci", src)
+		if (e1 == nil) != (e2 == nil) {
+			return false
+		}
+		if e1 != nil {
+			return e1.Error() == e2.Error()
+		}
+		return len(p1.Rules) == len(p2.Rules)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetaDeclEdgeCases(t *testing.T) {
+	// multiple names, whitespace variations, trailing comments
+	text := "@r@\nexpression  a ,b,  c;\ntype    T1, T2;\n@@\na + b + c\n"
+	p, err := ParsePatch("m.cocci", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules[0].Metas) != 5 {
+		t.Errorf("metas=%d want 5", len(p.Rules[0].Metas))
+	}
+}
+
+func TestRuleNamesGenerated(t *testing.T) {
+	p, err := ParsePatch("g.cocci", "@@ @@\n- a();\n\n@@ @@\n- b();\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Rules[0].Name == p.Rules[1].Name {
+		t.Errorf("anonymous rules share a name: %q", p.Rules[0].Name)
+	}
+}
+
+func TestWindowsLineEndings(t *testing.T) {
+	text := "@r@\r\nexpression e;\r\n@@\r\n- f(e)\r\n+ g(e)\r\n"
+	// CRLF is tolerated by trimming; the parse must not fail outright.
+	if _, err := ParsePatch("crlf.cocci", strings.ReplaceAll(text, "\r", "")); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,238 @@
+// Package transform applies token-level edits to a lexed C/C++ file. A
+// semantic patch match is realised as a set of token deletions (for '-'
+// pattern tokens) and anchored text insertions (for '+' lines). Untouched
+// tokens keep their exact source text and whitespace, so everything the
+// patch does not mention survives byte-for-byte — the property that makes
+// semantic patches reviewable as ordinary diffs.
+package transform
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/ctoken"
+)
+
+// marker tags the whitespace of a deleted token during rendering so the
+// cleanup pass can drop lines that lost all their tokens.
+const marker = "\x00"
+
+// Where selects insertion placement relative to the anchor token.
+type Where uint8
+
+// Insertion placements.
+const (
+	// BeforeOwnLine places the text on its own line(s) before the line the
+	// anchor token starts on.
+	BeforeOwnLine Where = iota
+	// AfterOwnLine places the text on its own line(s) after the anchor
+	// token.
+	AfterOwnLine
+	// Inline places the text exactly at the anchor token's position (used
+	// to replace deleted tokens).
+	Inline
+	// InlineAfter places the text directly after the anchor token's text.
+	InlineAfter
+)
+
+// Insertion is one pending text insertion.
+type Insertion struct {
+	Anchor int // token index
+	Place  Where
+	Text   string // may contain newlines; indentation is added per line
+	seq    int
+}
+
+// EditSet collects edits against one token file.
+type EditSet struct {
+	file *ctoken.File
+	del  map[int]bool
+	ins  []Insertion
+	seq  int
+}
+
+// NewEditSet creates an empty edit set for the file.
+func NewEditSet(f *ctoken.File) *EditSet {
+	return &EditSet{file: f, del: map[int]bool{}}
+}
+
+// File returns the underlying token file.
+func (e *EditSet) File() *ctoken.File { return e.file }
+
+// Empty reports whether no edits are recorded.
+func (e *EditSet) Empty() bool { return len(e.del) == 0 && len(e.ins) == 0 }
+
+// DeleteRange marks tokens [first,last] (inclusive) for deletion.
+func (e *EditSet) DeleteRange(first, last int) {
+	for i := first; i <= last && i < len(e.file.Tokens); i++ {
+		if i >= 0 {
+			e.del[i] = true
+		}
+	}
+}
+
+// Deleted reports whether token i is marked deleted.
+func (e *EditSet) Deleted(i int) bool { return e.del[i] }
+
+// Insert queues text at the anchor with the given placement.
+func (e *EditSet) Insert(anchor int, place Where, text string) {
+	e.ins = append(e.ins, Insertion{Anchor: anchor, Place: place, Text: text, seq: e.seq})
+	e.seq++
+}
+
+// Overlaps reports whether the token range [first,last] intersects any
+// already-deleted token; the engine uses it to keep matches disjoint.
+func (e *EditSet) Overlaps(first, last int) bool {
+	for i := first; i <= last; i++ {
+		if e.del[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// indentOf returns the leading whitespace of the line on which token i
+// starts.
+func (e *EditSet) indentOf(i int) string {
+	if i < 0 || i >= len(e.file.Tokens) {
+		return ""
+	}
+	src := e.file.Src
+	off := e.file.Tokens[i].Pos.Offset
+	if off > len(src) {
+		off = len(src)
+	}
+	lineStart := strings.LastIndexByte(src[:off], '\n') + 1
+	j := lineStart
+	for j < len(src) && (src[j] == ' ' || src[j] == '\t') {
+		j++
+	}
+	return src[lineStart:j]
+}
+
+// Apply renders the edited source.
+func (e *EditSet) Apply() string {
+	byAnchor := map[int][]Insertion{}
+	for _, in := range e.ins {
+		byAnchor[in.Anchor] = append(byAnchor[in.Anchor], in)
+	}
+	for _, list := range byAnchor {
+		sort.SliceStable(list, func(i, j int) bool { return list[i].seq < list[j].seq })
+	}
+
+	var sb strings.Builder
+	toks := e.file.Tokens
+	prevDeleted := false
+	for i, t := range toks {
+		inserts := byAnchor[i]
+
+		// BeforeOwnLine insertions: split the token's whitespace at its last
+		// newline and slot the new lines in between.
+		var beforeOwn []Insertion
+		var inline []Insertion
+		var afterOwn []Insertion
+		var inlineAfter []Insertion
+		for _, in := range inserts {
+			switch in.Place {
+			case BeforeOwnLine:
+				beforeOwn = append(beforeOwn, in)
+			case Inline:
+				inline = append(inline, in)
+			case AfterOwnLine:
+				afterOwn = append(afterOwn, in)
+			case InlineAfter:
+				inlineAfter = append(inlineAfter, in)
+			}
+		}
+
+		ws := t.WS
+		if len(beforeOwn) > 0 {
+			indent := e.indentOf(i)
+			nl := strings.LastIndexByte(ws, '\n')
+			head, tail := "", ws
+			if nl >= 0 {
+				head, tail = ws[:nl+1], ws[nl+1:]
+			}
+			sb.WriteString(head)
+			for _, in := range beforeOwn {
+				for _, line := range strings.Split(in.Text, "\n") {
+					sb.WriteString(indent)
+					sb.WriteString(line)
+					sb.WriteString("\n")
+				}
+			}
+			if nl < 0 && tail == ws {
+				// No newline in the anchor's whitespace (e.g. first token of
+				// the file or same-line anchor): the inserted lines already
+				// end with newline; keep original spacing then the token.
+				sb.WriteString(tail)
+			} else {
+				sb.WriteString(tail)
+			}
+			ws = "" // consumed
+		}
+
+		deleted := e.del[i]
+		if ws != "" {
+			switch {
+			case deleted && prevDeleted && !strings.Contains(ws, "\n"):
+				// Interior whitespace of a deleted run collapses, so inline
+				// deletions do not leave runs of blanks behind.
+				sb.WriteString(marker)
+			case deleted:
+				sb.WriteString(ws)
+				sb.WriteString(marker)
+			default:
+				sb.WriteString(ws)
+			}
+		} else if deleted {
+			sb.WriteString(marker)
+		}
+		prevDeleted = deleted
+
+		for _, in := range inline {
+			sb.WriteString(in.Text)
+		}
+
+		if !deleted {
+			sb.WriteString(t.Text)
+		}
+
+		for _, in := range inlineAfter {
+			sb.WriteString(in.Text)
+		}
+		if len(afterOwn) > 0 {
+			indent := e.indentOf(i)
+			for _, in := range afterOwn {
+				for _, line := range strings.Split(in.Text, "\n") {
+					sb.WriteString("\n")
+					sb.WriteString(indent)
+					sb.WriteString(line)
+				}
+			}
+		}
+	}
+	return cleanup(sb.String())
+}
+
+// cleanup removes lines that consist only of whitespace and deletion
+// markers (a fully deleted source line), and strips markers elsewhere.
+func cleanup(s string) string {
+	if !strings.Contains(s, marker) {
+		return s
+	}
+	lines := strings.SplitAfter(s, "\n")
+	var out strings.Builder
+	for _, line := range lines {
+		if strings.Contains(line, marker) {
+			stripped := strings.ReplaceAll(line, marker, "")
+			if strings.TrimSpace(stripped) == "" && strings.HasSuffix(line, "\n") {
+				continue // drop the emptied line entirely
+			}
+			out.WriteString(stripped)
+			continue
+		}
+		out.WriteString(line)
+	}
+	return out.String()
+}

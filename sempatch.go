@@ -1,0 +1,163 @@
+// Package sempatch is the public API of gocci, a semantic patch engine for
+// C/C++ in the spirit of Coccinelle, reproducing "Advances in Semantic
+// Patching for HPC-oriented Refactorings with Coccinelle" (Martone & Lawall,
+// 2025). A semantic patch is a change specification written like a unified
+// diff but matched against the program's syntax tree: metavariables abstract
+// over subterms, "..." abstracts over statement paths, and rules chain
+// through inherited bindings and script rules.
+//
+// Quickstart:
+//
+//	p, _ := sempatch.ParsePatch("swap.cocci", `@@
+//	expression list el;
+//	@@
+//	- old_api(el)
+//	+ new_api(el)
+//	`)
+//	res, _ := sempatch.NewApplier(p, sempatch.Options{}).
+//		Apply(sempatch.File{Name: "x.c", Src: src})
+//	fmt.Print(res.Diffs["x.c"])
+package sempatch
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/smpl"
+)
+
+// Options selects the accepted C/C++ dialect and engine limits.
+type Options struct {
+	// CPlusPlus enables C++ constructs (range-for, lambdas, ::).
+	CPlusPlus bool
+	// Std is the C++ standard (11, 17, 23); 23 enables multi-index
+	// subscripts a[x, y, z].
+	Std int
+	// CUDA enables the <<< >>> kernel-launch tokens.
+	CUDA bool
+	// UseCTL additionally verifies dots constraints against the function's
+	// control-flow graph (path-sensitive `when != e`).
+	UseCTL bool
+	// MaxEnvs caps the environment set flowing between rules (default 4096).
+	MaxEnvs int
+	// Defines enables virtual dependency names declared in the patch
+	// (`virtual fix_gcc;` + `@r depends on fix_gcc@`), like spatch -D.
+	Defines []string
+}
+
+func (o Options) internal() core.Options {
+	return core.Options{
+		CPlusPlus: o.CPlusPlus, Std: o.Std, CUDA: o.CUDA,
+		UseCTL: o.UseCTL, MaxEnvs: o.MaxEnvs, Defines: o.Defines,
+	}
+}
+
+// File is one source file to patch.
+type File struct {
+	Name string
+	Src  string
+}
+
+// Result reports a patch application.
+type Result struct {
+	// Outputs maps file name to (possibly transformed) source text.
+	Outputs map[string]string
+	// Diffs maps file name to a unified diff; empty when unchanged.
+	Diffs map[string]string
+	// Matched reports which rules matched at least once.
+	Matched map[string]bool
+	// MatchCount counts matches per rule.
+	MatchCount map[string]int
+}
+
+// Changed lists files whose output differs from the input.
+func (r *Result) Changed() []string {
+	var out []string
+	for name, d := range r.Diffs {
+		if d != "" {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Patch is a parsed semantic patch.
+type Patch struct {
+	p *smpl.Patch
+}
+
+// Rules returns the rule names in order (useful for tooling).
+func (p *Patch) Rules() []string {
+	out := make([]string, 0, len(p.p.Rules))
+	for _, r := range p.p.Rules {
+		out = append(out, r.Name)
+	}
+	return out
+}
+
+// ParsePatch parses semantic patch text.
+func ParsePatch(name, text string) (*Patch, error) {
+	sp, err := smpl.ParsePatch(name, text)
+	if err != nil {
+		return nil, err
+	}
+	return &Patch{p: sp}, nil
+}
+
+// ParsePatchFile reads and parses a .cocci file.
+func ParsePatchFile(path string) (*Patch, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("sempatch: %w", err)
+	}
+	return ParsePatch(path, string(b))
+}
+
+// ScriptFunc is a native Go implementation of a script rule: it maps the
+// rule's input bindings to its declared outputs.
+type ScriptFunc func(inputs map[string]string) (map[string]string, error)
+
+// Applier runs one patch over source files.
+type Applier struct {
+	eng *core.Engine
+}
+
+// NewApplier builds an engine for the patch.
+func NewApplier(p *Patch, opts Options) *Applier {
+	return &Applier{eng: core.New(p.p, opts.internal())}
+}
+
+// RegisterScript installs a Go handler for the named script rule (instead of
+// the built-in restricted Python interpreter).
+func (a *Applier) RegisterScript(rule string, fn ScriptFunc) *Applier {
+	a.eng.RegisterScript(rule, core.ScriptFunc(fn))
+	return a
+}
+
+// Apply runs the patch over the files.
+func (a *Applier) Apply(files ...File) (*Result, error) {
+	in := make([]core.SourceFile, len(files))
+	for i, f := range files {
+		in[i] = core.SourceFile{Name: f.Name, Src: f.Src}
+	}
+	res, err := a.eng.Run(in)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Outputs:    res.Outputs,
+		Diffs:      res.Diffs,
+		Matched:    res.Matched,
+		MatchCount: res.MatchCount,
+	}, nil
+}
+
+// Apply is the one-shot convenience: parse and run.
+func Apply(patchName, patchText string, opts Options, files ...File) (*Result, error) {
+	p, err := ParsePatch(patchName, patchText)
+	if err != nil {
+		return nil, err
+	}
+	return NewApplier(p, opts).Apply(files...)
+}

@@ -12,6 +12,7 @@ package sempatch
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -250,6 +251,52 @@ func BenchmarkInstrumentRoundtrip(b *testing.B) {
 				}
 				if r2.Outputs["a.c"] != src {
 					b.Fatal("roundtrip broke identity")
+				}
+			}
+		})
+	}
+}
+
+// Batch application: one patch across a many-file corpus, the paper's
+// whole-codebase scenario (e.g. acc2omp over a full OpenACC application).
+// workers=1 is the sequential baseline the parallel speedup is measured
+// against; the corpus is large enough that the pool's compile-once +
+// per-worker-engine costs amortise.
+func BenchmarkBatchApply(b *testing.B) {
+	e, ok := patchlib.ByID("L1")
+	if !ok {
+		b.Fatal("experiment L1 missing")
+	}
+	p, err := ParsePatch("batch.cocci", e.Patch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nfiles = 48
+	files := make([]File, nfiles)
+	var total int64
+	for i := range files {
+		src := codegen.OpenMP(codegen.Config{Funcs: 8 + i%5, StmtsPerFunc: 3, Seed: int64(i + 1)})
+		files[i] = File{Name: fmt.Sprintf("src%02d.c", i), Src: src}
+		total += int64(len(src))
+	}
+	counts := []int{1, 4, runtime.NumCPU()}
+	seen := map[int]bool{}
+	for _, w := range counts {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			ba := NewBatchApplier(p, Options{Workers: w})
+			b.SetBytes(total)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := ba.ApplyAllFunc(files, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Changed != nfiles || st.Errors != 0 {
+					b.Fatalf("stats = %+v, want %d files changed", st, nfiles)
 				}
 			}
 		})

@@ -68,6 +68,49 @@ func TestCLIGocciInPlace(t *testing.T) {
 	}
 }
 
+func TestCLIGocciRecursive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gocci")
+	src, err := os.ReadFile("testdata/setup.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(tree, "sub"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a.c", "sub/b.c", "sub/c.cpp"} {
+		if err := os.WriteFile(filepath.Join(tree, name), src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// note: .txt files must be ignored by the scanner
+	if err := os.WriteFile(filepath.Join(tree, "notes.txt"), []byte("old_solver_init"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// The patch is positional here, exercising `gocci -j N -r dir patch.cocci`.
+	out, err := exec.Command(bin, "-j", "2", "-r", "--stats", tree, "testdata/rename.cocci").CombinedOutput()
+	if err != nil {
+		t.Fatalf("gocci -r: %v\n%s", err, out)
+	}
+	s := string(out)
+	if got := strings.Count(s, "+\tsolver_init_v2(g, rank);"); got != 3 {
+		t.Errorf("want 3 patched files in diff, got %d:\n%s", got, s)
+	}
+	if !strings.Contains(s, "3 files scanned, 3 matched") || !strings.Contains(s, "3 changed") {
+		t.Errorf("stats summary missing or wrong:\n%s", s)
+	}
+	// Diffs must come out in sorted path order regardless of workers.
+	ia := strings.Index(s, "a/"+filepath.Join(tree, "a.c"))
+	ib := strings.Index(s, "a/"+filepath.Join(tree, "sub/b.c"))
+	ic := strings.Index(s, "a/"+filepath.Join(tree, "sub/c.cpp"))
+	if ia < 0 || ib < 0 || ic < 0 || !(ia < ib && ib < ic) {
+		t.Errorf("diff order not deterministic (indices %d %d %d):\n%s", ia, ib, ic, s)
+	}
+}
+
 func TestCLIGocciGenAndParse(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")

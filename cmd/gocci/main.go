@@ -5,29 +5,68 @@
 //
 //	gocci --sp-file patch.cocci [--c++[=STD]] [--cuda] [--use-ctl]
 //	      [--in-place] file.c [file2.c ...]
+//	gocci -j 8 -r --stats path/to/tree patch.cocci
+//
+// With an explicit file list, one engine processes all files together and
+// metavariable bindings flow across files between rules. In recursive mode
+// (-r) the positional arguments are directories, scanned for C/C++/CUDA
+// sources, and the patch is applied to each file independently with a -j
+// worker pool; files are read lazily inside the pool and diffs stream in
+// deterministic path order. The patch may be named either with --sp-file
+// or as a positional .cocci argument.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
 
 	sempatch "repro"
 )
 
+// srcExts are the file suffixes collected in recursive mode.
+var srcExts = map[string]bool{
+	".c": true, ".h": true,
+	".cc": true, ".cpp": true, ".cxx": true,
+	".hh": true, ".hpp": true, ".hxx": true,
+	".cu": true, ".cuh": true,
+}
+
 func main() {
-	spFile := flag.String("sp-file", "", "semantic patch file (.cocci)")
+	spFile := flag.String("sp-file", "", "semantic patch file (.cocci); may also be given as a positional argument")
 	cxx := flag.Int("cxx", 0, "enable C++ mode with the given standard (11, 17, 23); 0 = C")
 	cuda := flag.Bool("cuda", false, "enable CUDA <<< >>> kernel launches")
 	useCTL := flag.Bool("use-ctl", false, "verify dots constraints with the CTL/CFG backend")
 	inPlace := flag.Bool("in-place", false, "rewrite files instead of printing diffs")
 	quiet := flag.Bool("quiet", false, "suppress diffs; only report matched rules")
+	recurse := flag.Bool("r", false, "treat arguments as directories; apply to all C/C++ sources below them")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker count for recursive batch application")
+	stats := flag.Bool("stats", false, "print a files/matches/changes summary to stderr")
 	var defines defineList
 	flag.Var(&defines, "D", "define a virtual dependency name (repeatable)")
 	flag.Parse()
 
-	if *spFile == "" || flag.NArg() == 0 {
+	args := flag.Args()
+	// Positional patch: the first argument ending in .cocci, when --sp-file
+	// is absent, so `gocci -j 8 -r dir patch.cocci` works as expected.
+	if *spFile == "" {
+		for i, a := range args {
+			if strings.HasSuffix(a, ".cocci") {
+				*spFile = a
+				args = append(args[:i:i], args[i+1:]...)
+				break
+			}
+		}
+	}
+	if *spFile == "" || len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: gocci --sp-file patch.cocci [options] file.c ...")
+		fmt.Fprintln(os.Stderr, "       gocci [-j N] -r [options] dir ... patch.cocci")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -36,40 +75,165 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	opts := sempatch.Options{CPlusPlus: *cxx > 0, Std: *cxx, CUDA: *cuda, UseCTL: *useCTL, Defines: defines}
+	opts := sempatch.Options{
+		CPlusPlus: *cxx > 0, Std: *cxx, CUDA: *cuda, UseCTL: *useCTL,
+		Defines: defines, Workers: *workers,
+	}
 
+	g := &gocci{inPlace: *inPlace, quiet: *quiet, ruleMatches: map[string]int{}}
+	start := time.Now()
+	if *recurse {
+		g.runBatch(patch, opts, args)
+	} else {
+		g.runSingle(patch, opts, args)
+	}
+	elapsed := time.Since(start)
+
+	if *quiet {
+		for _, r := range patch.Rules() {
+			fmt.Printf("rule %-20s matches=%d\n", r, g.ruleMatches[r])
+		}
+	}
+	if *stats {
+		if *recurse {
+			fmt.Fprintf(os.Stderr, "gocci: %d files scanned, %d matched (%d matches), %d changed, %d errors in %v\n",
+				g.st.Files, g.st.Matched, g.st.Matches, g.st.Changed, g.st.Errors, elapsed.Round(time.Millisecond))
+		} else {
+			// One engine run over all files: matches are not attributed
+			// per file, so no per-file "matched" count is reported.
+			fmt.Fprintf(os.Stderr, "gocci: %d files scanned, %d matches, %d changed in %v\n",
+				g.st.Files, g.st.Matches, g.st.Changed, elapsed.Round(time.Millisecond))
+		}
+	}
+	if g.st.Changed == 0 {
+		fmt.Fprintln(os.Stderr, "no changes")
+	}
+	if g.hadError {
+		os.Exit(1)
+	}
+}
+
+// gocci accumulates run state shared by both modes.
+type gocci struct {
+	inPlace     bool
+	quiet       bool
+	st          sempatch.BatchStats
+	ruleMatches map[string]int
+	hadError    bool
+}
+
+// emit handles one per-file outcome: report errors, write or print changes.
+func (g *gocci) emit(fr sempatch.FileResult) error {
+	if fr.Err != nil {
+		fmt.Fprintf(os.Stderr, "gocci: %v\n", fr.Err)
+		g.hadError = true
+		return nil
+	}
+	if !fr.Changed() {
+		return nil
+	}
+	if g.inPlace {
+		if err := os.WriteFile(fr.Name, []byte(fr.Output), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "patched %s\n", fr.Name)
+	} else if !g.quiet {
+		fmt.Print(fr.Diff)
+	}
+	return nil
+}
+
+// runBatch applies the patch per-file across directory trees with the
+// worker pool; file contents are read lazily inside the pool.
+func (g *gocci) runBatch(patch *sempatch.Patch, opts sempatch.Options, dirs []string) {
+	paths, err := collectSources(dirs)
+	if err != nil {
+		fatal(err)
+	}
+	st, err := sempatch.NewBatchApplier(patch, opts).ApplyAllPathsFunc(paths, func(fr sempatch.FileResult) error {
+		for rule, n := range fr.MatchCount {
+			g.ruleMatches[rule] += n
+		}
+		return g.emit(fr)
+	})
+	if err != nil {
+		fatal(err)
+	}
+	g.st = st
+}
+
+// runSingle processes an explicit file list in one engine run, preserving
+// cross-file metavariable flow between rules (a binding made in file1.c
+// can drive a transformation in file2.c).
+func (g *gocci) runSingle(patch *sempatch.Patch, opts sempatch.Options, paths []string) {
 	var files []sempatch.File
-	for _, path := range flag.Args() {
+	for _, path := range paths {
 		b, err := os.ReadFile(path)
 		if err != nil {
 			fatal(err)
 		}
 		files = append(files, sempatch.File{Name: path, Src: string(b)})
 	}
-
 	res, err := sempatch.NewApplier(patch, opts).Apply(files...)
 	if err != nil {
 		fatal(err)
 	}
+	g.ruleMatches = res.MatchCount
+	g.st.Files = len(files)
+	for _, n := range res.MatchCount {
+		g.st.Matches += n
+	}
+	for _, f := range files {
+		fr := sempatch.FileResult{Name: f.Name, Output: res.Outputs[f.Name], Diff: res.Diffs[f.Name]}
+		if fr.Changed() {
+			g.st.Changed++
+		}
+		if err := g.emit(fr); err != nil {
+			fatal(err)
+		}
+	}
+}
 
-	for _, name := range res.Changed() {
-		if *inPlace {
-			if err := os.WriteFile(name, []byte(res.Outputs[name]), 0o644); err != nil {
-				fatal(err)
+// collectSources walks directories gathering C/C++/CUDA files in sorted
+// path order, so batch output order is reproducible run to run. Files
+// reached through repeated or overlapping directory arguments are kept
+// once — patching a file twice in one run would double-apply the rules.
+func collectSources(dirs []string) ([]string, error) {
+	var out []string
+	seen := map[string]bool{}
+	for _, dir := range dirs {
+		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				// An unreadable entry skips, like any per-file failure —
+				// one bad subdirectory must not abort the whole batch.
+				fmt.Fprintf(os.Stderr, "gocci: skipping %s: %v\n", path, err)
+				if d != nil && d.IsDir() {
+					return filepath.SkipDir
+				}
+				return nil
 			}
-			fmt.Fprintf(os.Stderr, "patched %s\n", name)
-		} else if !*quiet {
-			fmt.Print(res.Diffs[name])
+			if d.IsDir() {
+				if name := d.Name(); name == ".git" {
+					return filepath.SkipDir
+				}
+				return nil
+			}
+			if !srcExts[filepath.Ext(path)] {
+				return nil
+			}
+			key := filepath.Clean(path)
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 	}
-	if *quiet {
-		for _, r := range patch.Rules() {
-			fmt.Printf("rule %-20s matches=%d\n", r, res.MatchCount[r])
-		}
-	}
-	if len(res.Changed()) == 0 {
-		fmt.Fprintln(os.Stderr, "no changes")
-	}
+	sort.Strings(out)
+	return out, nil
 }
 
 func fatal(err error) {

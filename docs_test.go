@@ -1,0 +1,138 @@
+package sempatch
+
+// Docs-check: every fenced `cocci` snippet in the documentation must parse,
+// every `c`/`cpp`/`cuda` snippet must parse in the corresponding dialect,
+// and every cocci snippet immediately followed by a code snippet is applied
+// to it and must match at least once. Documentation that drifts from the
+// implementation fails the build.
+
+import (
+	"bufio"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/cparse"
+)
+
+type snippet struct {
+	lang string
+	text string
+	line int // 1-based line of the opening fence
+}
+
+func extractSnippets(t *testing.T, path string) []snippet {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var snips []snippet
+	var cur *snippet
+	var body []string
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if !strings.HasPrefix(text, "```") {
+			if cur != nil {
+				body = append(body, text)
+			}
+			continue
+		}
+		if cur != nil {
+			cur.text = strings.Join(body, "\n") + "\n"
+			snips = append(snips, *cur)
+			cur, body = nil, nil
+			continue
+		}
+		cur = &snippet{lang: strings.TrimSpace(strings.TrimPrefix(text, "```")), line: line}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if cur != nil {
+		t.Fatalf("%s:%d: unterminated code fence", path, cur.line)
+	}
+	return snips
+}
+
+// dialect maps a fence language to engine and parser options. The docs
+// promise cpp snippets are checked in C++23 mode (docs/smpl.md).
+func dialect(lang string) (Options, cparse.Options, bool) {
+	switch lang {
+	case "c":
+		return Options{}, cparse.Options{}, true
+	case "cpp":
+		return Options{CPlusPlus: true, Std: 23}, cparse.Options{CPlusPlus: true, Std: 23}, true
+	case "cuda":
+		return Options{CPlusPlus: true, CUDA: true}, cparse.Options{CPlusPlus: true, CUDA: true}, true
+	}
+	return Options{}, cparse.Options{}, false
+}
+
+func TestDocsSnippets(t *testing.T) {
+	for _, doc := range []string{"README.md", "docs/smpl.md", "docs/batch.md"} {
+		t.Run(doc, func(t *testing.T) {
+			snips := extractSnippets(t, doc)
+			if len(snips) == 0 {
+				t.Fatalf("no fenced snippets in %s", doc)
+			}
+			var lastPatch *Patch // pending cocci block awaiting its code pair
+			var lastLine int
+			parsed, applied := 0, 0
+			for _, s := range snips {
+				switch {
+				case s.lang == "cocci":
+					p, err := ParsePatch(doc, s.text)
+					if err != nil {
+						t.Errorf("%s:%d: cocci snippet does not parse: %v", doc, s.line, err)
+						lastPatch = nil
+						continue
+					}
+					lastPatch, lastLine = p, s.line
+					parsed++
+				default:
+					opts, popts, isCode := dialect(s.lang)
+					if !isCode {
+						// go/sh/diagram blocks are out of scope here; the
+						// README's Go code is pinned by Example functions.
+						lastPatch = nil
+						continue
+					}
+					if _, err := cparse.Parse(doc, s.text, popts); err != nil {
+						t.Errorf("%s:%d: %s snippet does not parse: %v", doc, s.line, s.lang, err)
+						lastPatch = nil
+						continue
+					}
+					if lastPatch == nil {
+						continue
+					}
+					// Apply the preceding patch to this code. Declared
+					// virtuals are all defined, mirroring `gocci -D`.
+					opts.Defines = lastPatch.Virtuals()
+					res, err := NewApplier(lastPatch, opts).
+						Apply(File{Name: "snippet." + s.lang, Src: s.text})
+					if err != nil {
+						t.Errorf("%s:%d: applying the cocci snippet from line %d failed: %v",
+							doc, s.line, lastLine, err)
+					} else {
+						total := 0
+						for _, n := range res.MatchCount {
+							total += n
+						}
+						if total == 0 {
+							t.Errorf("%s:%d: the cocci snippet from line %d does not match its example code",
+								doc, s.line, lastLine)
+						}
+					}
+					applied++
+					lastPatch = nil
+				}
+			}
+			t.Logf("%s: %d snippets, %d cocci parsed, %d pairs applied", doc, len(snips), parsed, applied)
+		})
+	}
+}

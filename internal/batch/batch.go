@@ -1,0 +1,305 @@
+// Package batch applies one semantic patch across many source files with a
+// worker pool, the way spatch is used over a whole codebase. The patch is
+// compiled once (core.Compile) and the read-only artifacts are shared by
+// per-worker engine instances; per-file results stream to the caller in
+// input order with bounded memory, so a run over a million-file corpus
+// holds only a small window of results at any moment.
+//
+// Batch semantics are per-file: each file is patched independently, exactly
+// as if it were the only file handed to a fresh core.Engine. Metavariable
+// environments do not flow between files, and fresh-identifier counters
+// reset per file, so the output for a file never depends on which worker
+// processed it, how many workers ran, or in what order files completed.
+package batch
+
+import (
+	"os"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/smpl"
+)
+
+// Options configures a batch run.
+type Options struct {
+	// Engine is the per-file engine configuration (dialect, CTL, limits).
+	Engine core.Options
+	// Workers is the pool size; <= 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Window bounds the number of files that may be in flight (dispatched
+	// but not yet delivered in order); <= 0 means 2x the worker count.
+	// Larger windows tolerate more skew between fast and slow files at the
+	// cost of buffering more results.
+	Window int
+}
+
+// FileResult is the outcome for one input file.
+type FileResult struct {
+	// Index is the file's position in the input slice; results are
+	// delivered in increasing Index order. A configuration error that
+	// aborts the run before any file is processed (e.g. an undeclared
+	// define) is delivered as a single result with Index -1.
+	Index int
+	// Name is the input file name.
+	Name string
+	// Output is the (possibly transformed) source; empty when Err is set.
+	Output string
+	// Diff is the unified diff; empty when the file is unchanged.
+	Diff string
+	// MatchCount counts matches per rule in this file.
+	MatchCount map[string]int
+	// Err is the per-file failure (parse error, script error); other files
+	// in the batch are unaffected.
+	Err error
+}
+
+// Changed reports whether the patch modified the file.
+func (r FileResult) Changed() bool { return r.Diff != "" }
+
+// Matches is the total number of rule matches in the file.
+func (r FileResult) Matches() int {
+	n := 0
+	for _, c := range r.MatchCount {
+		n += c
+	}
+	return n
+}
+
+// Stats aggregates a completed run.
+type Stats struct {
+	Files   int // files processed
+	Matched int // files where at least one rule matched
+	Changed int // files whose output differs from the input
+	Errors  int // files that failed (parse or script error)
+	Matches int // total rule matches across all files
+}
+
+// Runner applies one compiled patch across file sets.
+type Runner struct {
+	compiled *core.Compiled
+	opts     Options
+	scripts  map[string]core.ScriptFunc
+	// cfgErr is a patch/options mismatch caught at construction; it is
+	// reported once per run instead of once per file.
+	cfgErr error
+}
+
+// New compiles the patch once and returns a Runner; the Runner may be used
+// for any number of Run calls, concurrently if desired.
+func New(patch *smpl.Patch, opts Options) *Runner {
+	return &Runner{
+		compiled: core.Compile(patch),
+		opts:     opts,
+		scripts:  map[string]core.ScriptFunc{},
+		cfgErr:   core.ValidateDefines(patch, opts.Engine.Defines),
+	}
+}
+
+// RegisterScript installs a native Go handler for the named script rule on
+// every worker engine. Must be called before Run; the handler may be called
+// from multiple goroutines and must be safe for that.
+func (r *Runner) RegisterScript(rule string, fn core.ScriptFunc) *Runner {
+	r.scripts[rule] = fn
+	return r
+}
+
+// workers resolves the effective pool size for n files.
+func (r *Runner) workers(n int) int {
+	w := r.opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// Run streams per-file results to yield in input order, stopping early if
+// yield returns false. It blocks until delivery finishes and all workers
+// have exited; memory use is bounded by the window size, not the corpus.
+func (r *Runner) Run(files []core.SourceFile, yield func(FileResult) bool) {
+	r.run(len(files), func(i int) (core.SourceFile, error) { return files[i], nil }, yield)
+}
+
+// RunPaths is Run for on-disk files: each worker reads its file from disk
+// just before patching it, so the corpus text is never resident all at
+// once — only the in-flight window is. A file that cannot be read reports
+// the error in its FileResult like any other per-file failure.
+func (r *Runner) RunPaths(paths []string, yield func(FileResult) bool) {
+	r.run(len(paths), func(i int) (core.SourceFile, error) {
+		b, err := os.ReadFile(paths[i])
+		if err != nil {
+			return core.SourceFile{Name: paths[i]}, err
+		}
+		return core.SourceFile{Name: paths[i], Src: string(b)}, nil
+	}, yield)
+}
+
+// run is the shared pool: get fetches the i-th file inside a worker.
+func (r *Runner) run(n int, get func(int) (core.SourceFile, error), yield func(FileResult) bool) {
+	if r.cfgErr != nil {
+		yield(FileResult{Index: -1, Err: r.cfgErr})
+		return
+	}
+	if n == 0 {
+		return
+	}
+	workers := r.workers(n)
+	window := r.opts.Window
+	if window <= 0 {
+		window = 2 * workers
+	}
+
+	jobs := make(chan int)
+	results := make(chan FileResult, workers)
+	stop := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			eng := core.NewCompiled(r.compiled, r.opts.Engine)
+			for rule, fn := range r.scripts {
+				eng.RegisterScript(rule, fn)
+			}
+			for {
+				select {
+				case idx, ok := <-jobs:
+					if !ok {
+						return
+					}
+					var fr FileResult
+					if f, err := get(idx); err != nil {
+						fr = FileResult{Index: idx, Name: f.Name, Err: err}
+					} else {
+						fr = applyOne(eng, f, idx)
+					}
+					select {
+					case results <- fr:
+					case <-stop:
+						return
+					}
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
+
+	// The feeder admits a file only when the in-flight window has room; the
+	// consumer returns a slot per delivered result. This bounds undelivered
+	// results (and the reorder buffer below) to the window size even when
+	// one slow file holds up in-order delivery.
+	slots := make(chan struct{}, window)
+	for i := 0; i < window; i++ {
+		slots <- struct{}{}
+	}
+	go func() {
+		defer close(jobs)
+		for i := 0; i < n; i++ {
+			select {
+			case <-slots:
+			case <-stop:
+				return
+			}
+			select {
+			case jobs <- i:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	// Reorder buffer: workers finish in any order, delivery is by Index.
+	pending := map[int]FileResult{}
+	next := 0
+	stopped := false
+	for fr := range results {
+		// After an early stop, keep draining so no worker blocks on send.
+		if stopped {
+			continue
+		}
+		pending[fr.Index] = fr
+		for {
+			out, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			next++
+			if !yield(out) {
+				stopped = true
+				close(stop)
+				break
+			}
+			slots <- struct{}{}
+		}
+	}
+}
+
+// Collect runs the batch and accumulates aggregate statistics, forwarding
+// each result to fn (which may be nil). A non-nil error from fn stops the
+// run and is returned; per-file errors only count in Stats.Errors.
+func (r *Runner) Collect(files []core.SourceFile, fn func(FileResult) error) (Stats, error) {
+	return r.collect(func(yield func(FileResult) bool) { r.Run(files, yield) }, fn)
+}
+
+// CollectPaths is Collect over on-disk files (see RunPaths).
+func (r *Runner) CollectPaths(paths []string, fn func(FileResult) error) (Stats, error) {
+	return r.collect(func(yield func(FileResult) bool) { r.RunPaths(paths, yield) }, fn)
+}
+
+func (r *Runner) collect(run func(func(FileResult) bool), fn func(FileResult) error) (Stats, error) {
+	var st Stats
+	var cbErr error
+	run(func(fr FileResult) bool {
+		if fr.Index < 0 { // configuration error: abort, don't count files
+			cbErr = fr.Err
+			return false
+		}
+		st.Files++
+		switch {
+		case fr.Err != nil:
+			st.Errors++
+		default:
+			if m := fr.Matches(); m > 0 {
+				st.Matched++
+				st.Matches += m
+			}
+			if fr.Changed() {
+				st.Changed++
+			}
+		}
+		if fn != nil {
+			if err := fn(fr); err != nil {
+				cbErr = err
+				return false
+			}
+		}
+		return true
+	})
+	return st, cbErr
+}
+
+// applyOne patches a single file on a reset engine.
+func applyOne(eng *core.Engine, f core.SourceFile, idx int) FileResult {
+	eng.Reset()
+	res, err := eng.Run([]core.SourceFile{f})
+	if err != nil {
+		return FileResult{Index: idx, Name: f.Name, Err: err}
+	}
+	return FileResult{
+		Index:      idx,
+		Name:       f.Name,
+		Output:     res.Outputs[f.Name],
+		Diff:       res.Diffs[f.Name],
+		MatchCount: res.MatchCount,
+	}
+}

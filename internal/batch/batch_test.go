@@ -1,0 +1,297 @@
+package batch
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/smpl"
+)
+
+const renamePatch = `@r@
+expression list el;
+@@
+- old_api(el)
++ new_api(el)
+`
+
+func parsePatch(t *testing.T, text string) *smpl.Patch {
+	t.Helper()
+	p, err := smpl.ParsePatch("t.cocci", text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// corpus fabricates n small files; every third one contains a match.
+func corpus(n int) []core.SourceFile {
+	files := make([]core.SourceFile, n)
+	for i := range files {
+		call := "other_api"
+		if i%3 == 0 {
+			call = "old_api"
+		}
+		files[i] = core.SourceFile{
+			Name: fmt.Sprintf("f%03d.c", i),
+			Src:  fmt.Sprintf("void fn%d(int x)\n{\n\t%s(x, %d);\n}\n", i, call, i),
+		}
+	}
+	return files
+}
+
+func TestEmptyFileSet(t *testing.T) {
+	r := New(parsePatch(t, renamePatch), Options{Workers: 4})
+	st, err := r.Collect(nil, func(FileResult) error {
+		t.Error("callback invoked for empty set")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != (Stats{}) {
+		t.Errorf("stats = %+v, want zero", st)
+	}
+}
+
+func TestDeterministicOrderAndOutputs(t *testing.T) {
+	files := corpus(40)
+	patch := parsePatch(t, renamePatch)
+
+	// Sequential reference: the one-file-at-a-time engine.
+	want := make([]string, len(files))
+	for i, f := range files {
+		res, err := core.New(patch, core.Options{}).Run([]core.SourceFile{f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res.Outputs[f.Name]
+	}
+
+	for _, workers := range []int{1, 3, 16} {
+		r := New(patch, Options{Workers: workers})
+		var got []FileResult
+		r.Run(files, func(fr FileResult) bool {
+			got = append(got, fr)
+			return true
+		})
+		if len(got) != len(files) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(files))
+		}
+		for i, fr := range got {
+			if fr.Index != i || fr.Name != files[i].Name {
+				t.Fatalf("workers=%d: result %d is %s (index %d), want %s", workers, i, fr.Name, fr.Index, files[i].Name)
+			}
+			if fr.Err != nil {
+				t.Fatalf("workers=%d: %s: %v", workers, fr.Name, fr.Err)
+			}
+			if fr.Output != want[i] {
+				t.Errorf("workers=%d: %s output differs from sequential engine", workers, fr.Name)
+			}
+			if i%3 == 0 && !fr.Changed() {
+				t.Errorf("workers=%d: %s should have changed", workers, fr.Name)
+			}
+			if i%3 != 0 && fr.Changed() {
+				t.Errorf("workers=%d: %s should be untouched", workers, fr.Name)
+			}
+		}
+	}
+}
+
+func TestParseFailureMidBatch(t *testing.T) {
+	files := corpus(9)
+	files[4] = core.SourceFile{Name: "broken.c", Src: "void f( {{{"}
+	r := New(parsePatch(t, renamePatch), Options{Workers: 4})
+	st, err := r.Collect(files, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors != 1 {
+		t.Errorf("Errors = %d, want 1", st.Errors)
+	}
+	if st.Files != 9 {
+		t.Errorf("Files = %d, want 9 (others must still complete)", st.Files)
+	}
+	if st.Changed != 3 { // indices 0, 3, 6 contain old_api
+		t.Errorf("Changed = %d, want 3", st.Changed)
+	}
+
+	// The failing file reports its error in order, with the name attached.
+	var got []FileResult
+	r.Run(files, func(fr FileResult) bool { got = append(got, fr); return true })
+	if got[4].Err == nil || got[4].Name != "broken.c" {
+		t.Errorf("result 4 = %+v, want parse error for broken.c", got[4])
+	}
+	if !strings.Contains(got[4].Err.Error(), "broken.c") {
+		t.Errorf("error should name the file: %v", got[4].Err)
+	}
+}
+
+func TestWorkerCountExceedsFiles(t *testing.T) {
+	files := corpus(2)
+	r := New(parsePatch(t, renamePatch), Options{Workers: 64})
+	st, err := r.Collect(files, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != 2 || st.Errors != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestEarlyStop(t *testing.T) {
+	files := corpus(200)
+	r := New(parsePatch(t, renamePatch), Options{Workers: 8})
+	seen := 0
+	r.Run(files, func(fr FileResult) bool {
+		seen++
+		return seen < 5
+	})
+	if seen != 5 {
+		t.Errorf("saw %d results after early stop, want 5", seen)
+	}
+	// The runner must still be reusable after an aborted run.
+	st, err := r.Collect(files[:6], nil)
+	if err != nil || st.Files != 6 {
+		t.Errorf("rerun after stop: stats=%+v err=%v", st, err)
+	}
+}
+
+func TestBoundedWindow(t *testing.T) {
+	files := corpus(100)
+	r := New(parsePatch(t, renamePatch), Options{Workers: 4, Window: 4})
+	count := 0
+	r.Run(files, func(fr FileResult) bool {
+		if fr.Index != count {
+			t.Fatalf("out of order: got %d want %d", fr.Index, count)
+		}
+		count++
+		return true
+	})
+	if count != 100 {
+		t.Errorf("delivered %d/100", count)
+	}
+}
+
+func TestScriptRuleAcrossWorkers(t *testing.T) {
+	patch := parsePatch(t, `@find@
+identifier fn;
+expression list el;
+@@
+fn(el)
+
+@script:python up@
+f << find.fn;
+nf;
+@@
+coccinelle.nf = cocci.make_ident(RENAMES[f])
+
+@apply depends on find@
+identifier find.fn;
+identifier up.nf;
+expression list find.el;
+@@
+- fn(el)
++ nf(el)
+`)
+	// The Go handler replaces the Python body; it must be safe for
+	// concurrent calls from multiple workers.
+	renames := map[string]string{"old_api": "new_api", "other_api": "kept_api"}
+	r := New(patch, Options{Workers: 8})
+	r.RegisterScript("up", func(in map[string]string) (map[string]string, error) {
+		nf, ok := renames[in["f"]]
+		if !ok {
+			return nil, fmt.Errorf("no rename for %q", in["f"])
+		}
+		return map[string]string{"nf": nf}, nil
+	})
+	files := corpus(24)
+	st, err := r.Collect(files, func(fr FileResult) error {
+		if fr.Err != nil {
+			return fr.Err
+		}
+		if strings.Contains(fr.Output, "old_api") {
+			return fmt.Errorf("%s: old_api survived:\n%s", fr.Name, fr.Output)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Changed != 24 {
+		t.Errorf("Changed = %d, want 24", st.Changed)
+	}
+}
+
+func TestRunPathsLazyReads(t *testing.T) {
+	dir := t.TempDir()
+	files := corpus(12)
+	paths := make([]string, 0, len(files)+1)
+	for _, f := range files {
+		p := filepath.Join(dir, f.Name)
+		if err := os.WriteFile(p, []byte(f.Src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, p)
+	}
+	// A missing file mid-batch must fail alone, like a parse error.
+	paths = append(paths[:6:6], append([]string{filepath.Join(dir, "gone.c")}, paths[6:]...)...)
+
+	r := New(parsePatch(t, renamePatch), Options{Workers: 4})
+	st, err := r.CollectPaths(paths, func(fr FileResult) error {
+		if fr.Name == filepath.Join(dir, "gone.c") {
+			if fr.Err == nil {
+				t.Error("missing file should report an error")
+			}
+		} else if fr.Err != nil {
+			t.Errorf("%s: %v", fr.Name, fr.Err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != 13 || st.Errors != 1 || st.Changed != 4 { // indices 0,3,6,9 contain old_api
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestUndeclaredDefineReportedOnce(t *testing.T) {
+	r := New(parsePatch(t, renamePatch), Options{
+		Workers: 4,
+		Engine:  core.Options{Defines: []string{"nosuch"}},
+	})
+	var results []FileResult
+	r.Run(corpus(10), func(fr FileResult) bool { results = append(results, fr); return true })
+	if len(results) != 1 || results[0].Index != -1 || results[0].Err == nil {
+		t.Fatalf("want one Index=-1 config-error result, got %+v", results)
+	}
+	st, err := r.Collect(corpus(10), nil)
+	if err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Errorf("Collect err = %v, want undeclared-define error", err)
+	}
+	if st.Files != 0 || st.Errors != 0 {
+		t.Errorf("config error must not count as per-file stats: %+v", st)
+	}
+}
+
+func TestCollectCallbackError(t *testing.T) {
+	files := corpus(50)
+	r := New(parsePatch(t, renamePatch), Options{Workers: 4})
+	boom := fmt.Errorf("boom")
+	st, err := r.Collect(files, func(fr FileResult) error {
+		if fr.Index == 3 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Errorf("err = %v, want boom", err)
+	}
+	if st.Files != 4 {
+		t.Errorf("Files = %d, want 4 (stopped at the failing callback)", st.Files)
+	}
+}

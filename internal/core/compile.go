@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/smpl"
+)
+
+// ValidateDefines checks that every define names a virtual declared in the
+// patch — the misconfiguration Engine.Run rejects. Callers that apply one
+// patch many times (the batch subsystem, CLI front ends) validate once up
+// front instead of reporting the same error per file.
+func ValidateDefines(patch *smpl.Patch, defines []string) error {
+	declared := map[string]bool{}
+	for _, v := range patch.Virtuals {
+		declared[v] = true
+	}
+	for _, d := range defines {
+		if !declared[d] {
+			return fmt.Errorf("define %q is not declared virtual in %s", d, patch.Name)
+		}
+	}
+	return nil
+}
+
+// Compiled holds the read-only artifacts an engine derives from a parsed
+// patch before matching: per-rule metavariable lookup tables and inheritance
+// maps. Building them is cheap for one file but adds up over a large corpus,
+// and more importantly a Compiled value is immutable after Compile returns,
+// so one instance can back any number of Engines running concurrently — the
+// batch subsystem compiles once and shares the result across its worker
+// pool.
+type Compiled struct {
+	// Patch is the parsed patch the artifacts were derived from. Treated as
+	// read-only from here on.
+	Patch *smpl.Patch
+	// Keyed by rule identity, not name: the parser does not reject
+	// duplicate rule names, and conflating two rules' metavariable tables
+	// would silently corrupt matching.
+	rules map[*smpl.Rule]*compiledRule
+}
+
+// compiledRule caches what runMatch would otherwise rebuild per run.
+type compiledRule struct {
+	metas *smpl.MetaTable
+	// inherits maps a local metavariable name to the qualified
+	// "rule.remote" environment key it is bound from.
+	inherits map[string]string
+}
+
+// Compile derives the per-rule matching artifacts from a parsed patch. The
+// result is safe for concurrent use by multiple Engines.
+func Compile(patch *smpl.Patch) *Compiled {
+	c := &Compiled{Patch: patch, rules: make(map[*smpl.Rule]*compiledRule, len(patch.Rules))}
+	for _, rule := range patch.Rules {
+		cr := &compiledRule{metas: smpl.NewMetaTable(rule.Metas), inherits: map[string]string{}}
+		for _, md := range rule.Metas {
+			if md.FromRule != "" {
+				cr.inherits[md.Name] = md.FromRule + "." + md.RemoteName
+			}
+		}
+		c.rules[rule] = cr
+	}
+	return c
+}
+
+// rule returns the compiled artifacts for a rule.
+func (c *Compiled) rule(r *smpl.Rule) *compiledRule {
+	return c.rules[r]
+}

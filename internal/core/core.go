@@ -79,25 +79,44 @@ func (r *Result) Changed() []string {
 
 // Engine applies one patch to source files.
 type Engine struct {
-	patch  *smpl.Patch
-	opts   Options
-	interp *minipy.Interp
-	hosts  map[string]ScriptFunc
-	fresh  map[string]int
+	patch    *smpl.Patch
+	compiled *Compiled
+	opts     Options
+	interp   *minipy.Interp
+	hosts    map[string]ScriptFunc
+	fresh    map[string]int
 }
 
 // New creates an engine for a parsed patch.
 func New(patch *smpl.Patch, opts Options) *Engine {
+	return NewCompiled(Compile(patch), opts)
+}
+
+// NewCompiled creates an engine from pre-compiled patch artifacts. Multiple
+// engines may share one Compiled value concurrently; each engine itself must
+// only be used from one goroutine at a time.
+func NewCompiled(c *Compiled, opts Options) *Engine {
 	if opts.MaxEnvs == 0 {
 		opts.MaxEnvs = 4096
 	}
 	return &Engine{
-		patch:  patch,
-		opts:   opts,
-		interp: minipy.New(),
-		hosts:  map[string]ScriptFunc{},
-		fresh:  map[string]int{},
+		patch:    c.Patch,
+		compiled: c,
+		opts:     opts,
+		interp:   minipy.New(),
+		hosts:    map[string]ScriptFunc{},
+		fresh:    map[string]int{},
 	}
+}
+
+// Reset clears the engine's accumulated run state — fresh-identifier
+// counters and script-interpreter globals — so the next Run behaves exactly
+// like a run on a newly constructed engine. Registered Go script handlers
+// are kept. Batch workers call this between files so that results do not
+// depend on which worker processed which file.
+func (e *Engine) Reset() {
+	e.interp = minipy.New()
+	e.fresh = map[string]int{}
 }
 
 // RegisterScript installs a native Go handler for the named script rule,
@@ -137,14 +156,10 @@ func (e *Engine) Run(files []SourceFile) (*Result, error) {
 		MatchCount: map[string]int{},
 	}
 	// Virtual rules: dependency atoms set by the caller.
-	declared := map[string]bool{}
-	for _, v := range e.patch.Virtuals {
-		declared[v] = true
+	if err := ValidateDefines(e.patch, e.opts.Defines); err != nil {
+		return nil, err
 	}
 	for _, d := range e.opts.Defines {
-		if !declared[d] {
-			return nil, fmt.Errorf("define %q is not declared virtual in %s", d, e.patch.Name)
-		}
 		res.Matched[d] = true
 	}
 	envs := []match.Env{{}}
@@ -286,14 +301,10 @@ func (e *Engine) runMatch(rule *smpl.Rule, envs []match.Env, states []*fileState
 	if err := e.reparse(states); err != nil {
 		return nil, err
 	}
-	metas := smpl.NewMetaTable(rule.Metas)
+	cr := e.compiled.rule(rule)
+	metas := cr.metas
 	// Names this rule inherits: local -> qualified key.
-	inherits := map[string]string{}
-	for _, md := range rule.Metas {
-		if md.FromRule != "" {
-			inherits[md.Name] = md.FromRule + "." + md.RemoteName
-		}
-	}
+	inherits := cr.inherits
 
 	var out []match.Env
 	anyMatch := false

@@ -7,6 +7,44 @@ import (
 	"repro/internal/smpl"
 )
 
+// Two rules may share a name (the parser does not reject it); compiled
+// artifacts must be keyed by rule identity so the first rule's inherited
+// metavariables are not replaced by the second's.
+func TestCompileDuplicateRuleNames(t *testing.T) {
+	patch, err := smpl.ParsePatch("dup.cocci", `@a@
+expression E;
+@@
+- foo(E)
++ foo2(E)
+
+@r@
+expression a.E;
+@@
+- use(E)
++ use2(E)
+
+@r@
+identifier h;
+@@
+- drop(h)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := "void f(void)\n{\n\tfoo(x);\n\tuse(x);\n\tuse(y);\n}\n"
+	res, err := New(patch, Options{}).Run([]SourceFile{{Name: "d.c", Src: src}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Outputs["d.c"]
+	if !strings.Contains(out, "use2(x)") {
+		t.Errorf("use(x) should be rewritten via inherited a.E:\n%s", out)
+	}
+	if strings.Contains(out, "use2(y)") {
+		t.Errorf("use(y) must NOT be rewritten (E is inherited, bound to x):\n%s", out)
+	}
+}
+
 // run applies a patch text to a source text and returns the transformed
 // output.
 func run(t *testing.T, patchText, src string, opts Options) (*Result, string) {

@@ -29,7 +29,7 @@ func (e *Engine) verifyCTL(st *fileState, rule *smpl.Rule, mt *match.Match) bool
 	if from < 0 || to < 0 {
 		return true
 	}
-	metas := smpl.NewMetaTable(rule.Metas)
+	metas := e.compiled.rule(rule).metas
 	avoid := func(n *cfg.Node) bool {
 		if n.Kind != cfg.Stmt || n.AST == nil {
 			return false

@@ -21,8 +21,10 @@ package sempatch
 
 import (
 	"fmt"
+	"iter"
 	"os"
 
+	"repro/internal/batch"
 	"repro/internal/core"
 	"repro/internal/smpl"
 )
@@ -44,6 +46,9 @@ type Options struct {
 	// Defines enables virtual dependency names declared in the patch
 	// (`virtual fix_gcc;` + `@r depends on fix_gcc@`), like spatch -D.
 	Defines []string
+	// Workers is the pool size for BatchApplier; <= 0 means GOMAXPROCS.
+	// Ignored by the single-threaded Applier.
+	Workers int
 }
 
 func (o Options) internal() core.Options {
@@ -85,6 +90,12 @@ func (r *Result) Changed() []string {
 // Patch is a parsed semantic patch.
 type Patch struct {
 	p *smpl.Patch
+}
+
+// Virtuals returns the names the patch declares `virtual` — the dependency
+// atoms settable through Options.Defines.
+func (p *Patch) Virtuals() []string {
+	return append([]string(nil), p.p.Virtuals...)
 }
 
 // Rules returns the rule names in order (useful for tooling).
@@ -137,11 +148,7 @@ func (a *Applier) RegisterScript(rule string, fn ScriptFunc) *Applier {
 
 // Apply runs the patch over the files.
 func (a *Applier) Apply(files ...File) (*Result, error) {
-	in := make([]core.SourceFile, len(files))
-	for i, f := range files {
-		in[i] = core.SourceFile{Name: f.Name, Src: f.Src}
-	}
-	res, err := a.eng.Run(in)
+	res, err := a.eng.Run(toSource(files))
 	if err != nil {
 		return nil, err
 	}
@@ -160,4 +167,129 @@ func Apply(patchName, patchText string, opts Options, files ...File) (*Result, e
 		return nil, err
 	}
 	return NewApplier(p, opts).Apply(files...)
+}
+
+// FileResult is one file's outcome in a batch run.
+type FileResult struct {
+	// Name is the input file name.
+	Name string
+	// Output is the (possibly transformed) source; empty when Err is set.
+	Output string
+	// Diff is the unified diff; empty when the file is unchanged.
+	Diff string
+	// MatchCount counts matches per rule in this file.
+	MatchCount map[string]int
+	// Err is this file's failure; other files in the batch still complete.
+	Err error
+}
+
+// Changed reports whether the patch modified the file.
+func (r FileResult) Changed() bool { return r.Diff != "" }
+
+// BatchStats aggregates a completed batch run.
+type BatchStats struct {
+	Files   int // files processed
+	Matched int // files where at least one rule matched
+	Changed int // files whose output differs from the input
+	Errors  int // files that failed (parse or script error)
+	Matches int // total rule matches across all files
+}
+
+// BatchApplier applies one patch across many files concurrently with a
+// worker pool of Options.Workers engines. The patch is compiled once and
+// shared; each file is patched independently (environments do not flow
+// between files), and results stream back in input order regardless of
+// which worker finishes first, so output is deterministic for any worker
+// count. See docs/batch.md.
+type BatchApplier struct {
+	r *batch.Runner
+}
+
+// NewBatchApplier compiles the patch for concurrent application.
+func NewBatchApplier(p *Patch, opts Options) *BatchApplier {
+	return &BatchApplier{r: batch.New(p.p, batch.Options{Engine: opts.internal(), Workers: opts.Workers})}
+}
+
+// RegisterScript installs a Go handler for the named script rule on every
+// worker. Call before ApplyAll; the handler runs concurrently and must be
+// safe for that.
+func (b *BatchApplier) RegisterScript(rule string, fn ScriptFunc) *BatchApplier {
+	b.r.RegisterScript(rule, core.ScriptFunc(fn))
+	return b
+}
+
+// ApplyAll streams one FileResult per input file, in input order. Breaking
+// out of the loop stops the batch early; memory stays bounded by the worker
+// window, not the corpus size. A configuration error (e.g. an
+// Options.Defines name not declared virtual in the patch) is delivered
+// once, as a single FileResult with an empty Name, instead of once per
+// file; ApplyAllFunc returns it as the run error.
+func (b *BatchApplier) ApplyAll(files []File) iter.Seq[FileResult] {
+	return func(yield func(FileResult) bool) {
+		b.r.Run(toSource(files), func(fr batch.FileResult) bool {
+			return yield(publicResult(fr))
+		})
+	}
+}
+
+// ApplyAllPaths is ApplyAll over on-disk files: each worker reads its file
+// from disk just before patching, so only the in-flight window of the
+// corpus is ever resident in memory. Unreadable files report the error in
+// their FileResult like any other per-file failure.
+func (b *BatchApplier) ApplyAllPaths(paths []string) iter.Seq[FileResult] {
+	return func(yield func(FileResult) bool) {
+		b.r.RunPaths(paths, func(fr batch.FileResult) bool {
+			return yield(publicResult(fr))
+		})
+	}
+}
+
+// ApplyAllFunc is the callback form of ApplyAll: fn runs once per file in
+// input order, and the aggregate statistics are returned. A non-nil error
+// from fn stops the batch and is returned; per-file failures only count in
+// BatchStats.Errors.
+func (b *BatchApplier) ApplyAllFunc(files []File, fn func(FileResult) error) (BatchStats, error) {
+	st, err := b.r.Collect(toSource(files), wrapCallback(fn))
+	return publicStats(st), err
+}
+
+// ApplyAllPathsFunc is the callback form of ApplyAllPaths.
+func (b *BatchApplier) ApplyAllPathsFunc(paths []string, fn func(FileResult) error) (BatchStats, error) {
+	st, err := b.r.CollectPaths(paths, wrapCallback(fn))
+	return publicStats(st), err
+}
+
+func publicResult(fr batch.FileResult) FileResult {
+	return FileResult{
+		Name:       fr.Name,
+		Output:     fr.Output,
+		Diff:       fr.Diff,
+		MatchCount: fr.MatchCount,
+		Err:        fr.Err,
+	}
+}
+
+func publicStats(st batch.Stats) BatchStats {
+	return BatchStats{
+		Files:   st.Files,
+		Matched: st.Matched,
+		Changed: st.Changed,
+		Errors:  st.Errors,
+		Matches: st.Matches,
+	}
+}
+
+func wrapCallback(fn func(FileResult) error) func(batch.FileResult) error {
+	if fn == nil {
+		return nil
+	}
+	return func(fr batch.FileResult) error { return fn(publicResult(fr)) }
+}
+
+func toSource(files []File) []core.SourceFile {
+	in := make([]core.SourceFile, len(files))
+	for i, f := range files {
+		in[i] = core.SourceFile{Name: f.Name, Src: f.Src}
+	}
+	return in
 }

@@ -1,0 +1,5 @@
+@rename@
+expression list el;
+@@
+- old_solver_init(el)
++ solver_init_v2(el)

@@ -1,0 +1,13 @@
+#include <mpi.h>
+
+void setup(struct grid *g, int rank)
+{
+	grid_alloc(g);
+	old_solver_init(g, rank);
+	exchange_halo(g, rank);
+}
+
+void teardown(struct grid *g)
+{
+	grid_free(g);
+}

@@ -303,6 +303,82 @@ func BenchmarkBatchApply(b *testing.B) {
 	}
 }
 
+// Prefilter effect: batch apply over a corpus where ~90% of the files
+// cannot match the patch, the realistic shape of a whole-codebase run (the
+// paper's spatch+glimpse scenario). The prefilter rejects non-candidate
+// files from raw bytes without parsing them, so the "on" case should beat
+// "off" by a multiple; both must produce identical outputs, which the
+// benchmark verifies once up front (TestPrefilterParity covers the tricky
+// rule-dependency and virtual-rule cases exhaustively).
+func BenchmarkPrefilter(b *testing.B) {
+	patch := `@r@
+expression list el;
+@@
+- legacy_halo_exchange(el)
++ halo_exchange_v2(el)
+`
+	p, err := ParsePatch("prefilter.cocci", patch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const nfiles = 100
+	files := make([]File, nfiles)
+	var total int64
+	matching := 0
+	for i := range files {
+		src := codegen.Mixed(codegen.Config{Funcs: 6 + i%4, StmtsPerFunc: 3, Seed: int64(i + 1)})
+		if i%10 == 0 { // ~10% of the corpus actually calls the legacy API
+			src += "\nvoid migrate_me(int n)\n{\n\tlegacy_halo_exchange(n, 0);\n}\n"
+			matching++
+		}
+		files[i] = File{Name: fmt.Sprintf("src%03d.c", i), Src: src}
+		total += int64(len(src))
+	}
+
+	// Outputs must be byte-identical with the filter on and off.
+	outOn := map[string]string{}
+	outOff := map[string]string{}
+	for _, cfg := range []struct {
+		out map[string]string
+		opt Options
+	}{{outOn, Options{Workers: 1}}, {outOff, Options{Workers: 1, NoPrefilter: true}}} {
+		if _, err := NewBatchApplier(p, cfg.opt).ApplyAllFunc(files, func(fr FileResult) error {
+			cfg.out[fr.Name] = fr.Output
+			return fr.Err
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for name, on := range outOn {
+		if on != outOff[name] {
+			b.Fatalf("%s: prefilter changed the output", name)
+		}
+	}
+
+	for _, mode := range []struct {
+		name string
+		opts Options
+	}{
+		{"on", Options{Workers: 1}},
+		{"off", Options{Workers: 1, NoPrefilter: true}},
+	} {
+		b.Run("prefilter="+mode.name, func(b *testing.B) {
+			ba := NewBatchApplier(p, mode.opts)
+			b.SetBytes(total)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := ba.ApplyAllFunc(files, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if st.Changed != matching || st.Errors != 0 {
+					b.Fatalf("stats = %+v, want %d changed", st, matching)
+				}
+			}
+		})
+	}
+}
+
 // Match-only cost (no transformation): a pure-context rule.
 func BenchmarkMatchOnly(b *testing.B) {
 	patch := "@probe@\ntype T;\nidentifier f;\nparameter list PL;\nstatement list SL;\n@@\nT f (PL) { SL }\n"

@@ -68,6 +68,96 @@ func TestCLIGocciInPlace(t *testing.T) {
 	}
 }
 
+// An executable source file (a build script's generated .c, a checked-in
+// tool) must stay executable after -r --in-place: the rewrite used to
+// hard-code 0644 and clobber the mode. The write is also atomic (temp file
+// + rename), which this test can only witness indirectly: the rewritten
+// file is complete and carries the original bits.
+func TestCLIGocciInPlacePreservesMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gocci")
+	src, err := os.ReadFile("testdata/setup.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := t.TempDir()
+	work := filepath.Join(tree, "exec.c")
+	if err := os.WriteFile(work, src, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(bin, "-r", "--in-place", tree, "testdata/rename.cocci").CombinedOutput(); err != nil {
+		t.Fatalf("gocci -r --in-place: %v\n%s", err, out)
+	}
+	got, err := os.ReadFile(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "solver_init_v2(g, rank);") {
+		t.Errorf("file not rewritten:\n%s", got)
+	}
+	info, err := os.Stat(work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o755 {
+		t.Errorf("mode = %o after --in-place, want 755 preserved", info.Mode().Perm())
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(tree)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), ".gocci-") {
+			t.Errorf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+// A symlinked source must be patched through the link: the atomic rename
+// targets the resolved file, never replaces the link with a regular copy.
+func TestCLIGocciInPlaceFollowsSymlinks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gocci")
+	src, err := os.ReadFile("testdata/setup.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	real := filepath.Join(root, "real")
+	tree := filepath.Join(root, "tree")
+	for _, d := range []string{real, tree} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	target := filepath.Join(real, "target.c")
+	if err := os.WriteFile(target, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	link := filepath.Join(tree, "link.c")
+	if err := os.Symlink(filepath.Join("..", "real", "target.c"), link); err != nil {
+		t.Skipf("cannot create symlinks here: %v", err)
+	}
+	if out, err := exec.Command(bin, "-r", "--in-place", tree, "testdata/rename.cocci").CombinedOutput(); err != nil {
+		t.Fatalf("gocci -r --in-place: %v\n%s", err, out)
+	}
+	if fi, err := os.Lstat(link); err != nil || fi.Mode()&os.ModeSymlink == 0 {
+		t.Errorf("link.c is no longer a symlink (mode %v, err %v)", fi.Mode(), err)
+	}
+	got, err := os.ReadFile(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(got), "solver_init_v2(g, rank);") {
+		t.Errorf("symlink target not rewritten:\n%s", got)
+	}
+}
+
 func TestCLIGocciRecursive(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
@@ -99,7 +189,7 @@ func TestCLIGocciRecursive(t *testing.T) {
 	if got := strings.Count(s, "+\tsolver_init_v2(g, rank);"); got != 3 {
 		t.Errorf("want 3 patched files in diff, got %d:\n%s", got, s)
 	}
-	if !strings.Contains(s, "3 files scanned, 3 matched") || !strings.Contains(s, "3 changed") {
+	if !strings.Contains(s, "3 files scanned, 0 skipped by prefilter, 3 matched") || !strings.Contains(s, "3 changed") {
 		t.Errorf("stats summary missing or wrong:\n%s", s)
 	}
 	// Diffs must come out in sorted path order regardless of workers.
@@ -108,6 +198,43 @@ func TestCLIGocciRecursive(t *testing.T) {
 	ic := strings.Index(s, "a/"+filepath.Join(tree, "sub/c.cpp"))
 	if ia < 0 || ib < 0 || ic < 0 || !(ia < ib && ib < ic) {
 		t.Errorf("diff order not deterministic (indices %d %d %d):\n%s", ia, ib, ic, s)
+	}
+}
+
+// The prefilter skips files the patch provably cannot touch; --stats
+// reports them and --no-prefilter forces them through the parser.
+func TestCLIGocciPrefilterStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gocci")
+	src, err := os.ReadFile("testdata/setup.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := t.TempDir()
+	if err := os.WriteFile(filepath.Join(tree, "hit.c"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	miss := "void unrelated(void)\n{\n\tnothing_here(1);\n}\n"
+	if err := os.WriteFile(filepath.Join(tree, "miss.c"), []byte(miss), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := exec.Command(bin, "-r", "--stats", tree, "testdata/rename.cocci").CombinedOutput()
+	if err != nil {
+		t.Fatalf("gocci -r --stats: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "2 files scanned, 1 skipped by prefilter, 1 matched") {
+		t.Errorf("stats should count the skipped file:\n%s", out)
+	}
+
+	out, err = exec.Command(bin, "-r", "--stats", "--no-prefilter", tree, "testdata/rename.cocci").CombinedOutput()
+	if err != nil {
+		t.Fatalf("gocci -r --stats --no-prefilter: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "2 files scanned, 0 skipped by prefilter, 1 matched") {
+		t.Errorf("--no-prefilter should parse everything:\n%s", out)
 	}
 }
 

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	gocci --sp-file patch.cocci [--c++[=STD]] [--cuda] [--use-ctl]
+//	gocci --sp-file patch.cocci [-cxx STD] [--cuda] [--use-ctl]
 //	      [--in-place] file.c [file2.c ...]
 //	gocci -j 8 -r --stats path/to/tree patch.cocci
 //
@@ -11,9 +11,10 @@
 // metavariable bindings flow across files between rules. In recursive mode
 // (-r) the positional arguments are directories, scanned for C/C++/CUDA
 // sources, and the patch is applied to each file independently with a -j
-// worker pool; files are read lazily inside the pool and diffs stream in
-// deterministic path order. The patch may be named either with --sp-file
-// or as a positional .cocci argument.
+// worker pool; files are read lazily inside the pool, a required-atom
+// prefilter skips files the patch provably cannot touch (disable with
+// --no-prefilter), and diffs stream in deterministic path order. The patch
+// may be named either with --sp-file or as a positional .cocci argument.
 package main
 
 import (
@@ -48,6 +49,7 @@ func main() {
 	recurse := flag.Bool("r", false, "treat arguments as directories; apply to all C/C++ sources below them")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker count for recursive batch application")
 	stats := flag.Bool("stats", false, "print a files/matches/changes summary to stderr")
+	noPrefilter := flag.Bool("no-prefilter", false, "parse every file in recursive mode, even those the patch provably cannot touch")
 	var defines defineList
 	flag.Var(&defines, "D", "define a virtual dependency name (repeatable)")
 	flag.Parse()
@@ -77,7 +79,7 @@ func main() {
 	}
 	opts := sempatch.Options{
 		CPlusPlus: *cxx > 0, Std: *cxx, CUDA: *cuda, UseCTL: *useCTL,
-		Defines: defines, Workers: *workers,
+		Defines: defines, Workers: *workers, NoPrefilter: *noPrefilter,
 	}
 
 	g := &gocci{inPlace: *inPlace, quiet: *quiet, ruleMatches: map[string]int{}}
@@ -96,8 +98,8 @@ func main() {
 	}
 	if *stats {
 		if *recurse {
-			fmt.Fprintf(os.Stderr, "gocci: %d files scanned, %d matched (%d matches), %d changed, %d errors in %v\n",
-				g.st.Files, g.st.Matched, g.st.Matches, g.st.Changed, g.st.Errors, elapsed.Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "gocci: %d files scanned, %d skipped by prefilter, %d matched (%d matches), %d changed, %d errors in %v\n",
+				g.st.Files, g.st.Skipped, g.st.Matched, g.st.Matches, g.st.Changed, g.st.Errors, elapsed.Round(time.Millisecond))
 		} else {
 			// One engine run over all files: matches are not attributed
 			// per file, so no per-file "matched" count is reported.
@@ -129,11 +131,14 @@ func (g *gocci) emit(fr sempatch.FileResult) error {
 		g.hadError = true
 		return nil
 	}
+	if fr.EnvsTruncated {
+		fmt.Fprintf(os.Stderr, "gocci: warning: %s: environment cap (MaxEnvs) hit, matches dropped; results may be incomplete\n", fr.Name)
+	}
 	if !fr.Changed() {
 		return nil
 	}
 	if g.inPlace {
-		if err := os.WriteFile(fr.Name, []byte(fr.Output), 0o644); err != nil {
+		if err := writeInPlace(fr.Name, fr.Output); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "patched %s\n", fr.Name)
@@ -141,6 +146,49 @@ func (g *gocci) emit(fr sempatch.FileResult) error {
 		fmt.Print(fr.Diff)
 	}
 	return nil
+}
+
+// writeInPlace atomically replaces path with content, keeping the original
+// file's permission bits: the new text lands in a temp file in the same
+// directory, is fsynced, and is renamed over the original, so a crash
+// mid-write can never leave a truncated source file behind, and an
+// executable script stays executable. Symlinks are resolved first so the
+// rename rewrites the link's target instead of silently replacing the link
+// with a regular file. (Hard-link peers do detach — the price of an atomic
+// replace.)
+func writeInPlace(path, content string) error {
+	real, err := filepath.EvalSymlinks(path)
+	if err != nil {
+		return err
+	}
+	path = real
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".gocci-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.WriteString(content); err != nil {
+		tmp.Close()
+		return err
+	}
+	// Chmod rather than relying on CreateTemp's 0600: the replacement must
+	// carry the original's permission bits.
+	if err := tmp.Chmod(info.Mode().Perm()); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
 }
 
 // runBatch applies the patch per-file across directory trees with the
@@ -177,6 +225,9 @@ func (g *gocci) runSingle(patch *sempatch.Patch, opts sempatch.Options, paths []
 	res, err := sempatch.NewApplier(patch, opts).Apply(files...)
 	if err != nil {
 		fatal(err)
+	}
+	if res.EnvsTruncated {
+		fmt.Fprintln(os.Stderr, "gocci: warning: environment cap (MaxEnvs) hit, matches dropped; results may be incomplete")
 	}
 	g.ruleMatches = res.MatchCount
 	g.st.Files = len(files)

@@ -3,7 +3,11 @@
 // compiled once (core.Compile) and the read-only artifacts are shared by
 // per-worker engine instances; per-file results stream to the caller in
 // input order with bounded memory, so a run over a million-file corpus
-// holds only a small window of results at any moment.
+// holds only a small window of results at any moment. Before parsing a
+// file, workers consult the patch's required-atom prefilter
+// (internal/index): a file that provably cannot be fired on by any rule is
+// reported as skipped without ever being lexed or parsed, which is where
+// most of the time goes on a mostly-non-matching corpus.
 //
 // Batch semantics are per-file: each file is patched independently, exactly
 // as if it were the only file handed to a fresh core.Engine. Metavariable
@@ -18,6 +22,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/index"
 	"repro/internal/smpl"
 )
 
@@ -32,6 +37,12 @@ type Options struct {
 	// Larger windows tolerate more skew between fast and slow files at the
 	// cost of buffering more results.
 	Window int
+	// NoPrefilter disables the required-atom prefilter, forcing every file
+	// through the full parse-and-match pipeline. The filter only skips
+	// files no rule could possibly fire on, so outputs are identical either
+	// way; disabling it restores per-file parse-error reporting for files
+	// the patch provably cannot touch.
+	NoPrefilter bool
 }
 
 // FileResult is the outcome for one input file.
@@ -49,6 +60,13 @@ type FileResult struct {
 	Diff string
 	// MatchCount counts matches per rule in this file.
 	MatchCount map[string]int
+	// Skipped reports that the prefilter proved no rule could fire on this
+	// file, so it was never parsed; Output equals the input and Diff is
+	// empty, exactly as a full run would have produced.
+	Skipped bool
+	// EnvsTruncated reports that this file's run hit the MaxEnvs cap and
+	// dropped matches (see core.Result.EnvsTruncated).
+	EnvsTruncated bool
 	// Err is the per-file failure (parse error, script error); other files
 	// in the batch are unaffected.
 	Err error
@@ -73,6 +91,7 @@ type Stats struct {
 	Changed int // files whose output differs from the input
 	Errors  int // files that failed (parse or script error)
 	Matches int // total rule matches across all files
+	Skipped int // files the prefilter rejected without parsing
 }
 
 // Runner applies one compiled patch across file sets.
@@ -80,6 +99,10 @@ type Runner struct {
 	compiled *core.Compiled
 	opts     Options
 	scripts  map[string]core.ScriptFunc
+	// filter is the per-run required-atom prefilter (nil when disabled):
+	// workers consult it on raw file bytes before parsing, and skip files
+	// no rule could possibly fire on.
+	filter *index.Filter
 	// cfgErr is a patch/options mismatch caught at construction; it is
 	// reported once per run instead of once per file.
 	cfgErr error
@@ -88,12 +111,16 @@ type Runner struct {
 // New compiles the patch once and returns a Runner; the Runner may be used
 // for any number of Run calls, concurrently if desired.
 func New(patch *smpl.Patch, opts Options) *Runner {
-	return &Runner{
+	r := &Runner{
 		compiled: core.Compile(patch),
 		opts:     opts,
 		scripts:  map[string]core.ScriptFunc{},
 		cfgErr:   core.ValidateDefines(patch, opts.Engine.Defines),
 	}
+	if !opts.NoPrefilter {
+		r.filter = r.compiled.Prefilter.ForDefines(opts.Engine.Defines)
+	}
+	return r
 }
 
 // RegisterScript installs a native Go handler for the named script rule on
@@ -174,6 +201,17 @@ func (r *Runner) run(n int, get func(int) (core.SourceFile, error), yield func(F
 					var fr FileResult
 					if f, err := get(idx); err != nil {
 						fr = FileResult{Index: idx, Name: f.Name, Err: err}
+					} else if r.filter != nil && !r.filter.MayMatch(f.Src) {
+						// Provably unmatchable: synthesize the result a
+						// full run would produce, without parsing. (A
+						// syntactically broken file that cannot match is
+						// skipped too — its parse error goes unreported,
+						// like spatch under a glimpse index; pass
+						// NoPrefilter to surface such errors.)
+						fr = FileResult{
+							Index: idx, Name: f.Name, Output: f.Src,
+							MatchCount: map[string]int{}, Skipped: true,
+						}
 					} else {
 						fr = applyOne(eng, f, idx)
 					}
@@ -269,6 +307,9 @@ func (r *Runner) collect(run func(func(FileResult) bool), fn func(FileResult) er
 		case fr.Err != nil:
 			st.Errors++
 		default:
+			if fr.Skipped {
+				st.Skipped++
+			}
 			if m := fr.Matches(); m > 0 {
 				st.Matched++
 				st.Matches += m
@@ -296,10 +337,11 @@ func applyOne(eng *core.Engine, f core.SourceFile, idx int) FileResult {
 		return FileResult{Index: idx, Name: f.Name, Err: err}
 	}
 	return FileResult{
-		Index:      idx,
-		Name:       f.Name,
-		Output:     res.Outputs[f.Name],
-		Diff:       res.Diffs[f.Name],
-		MatchCount: res.MatchCount,
+		Index:         idx,
+		Name:          f.Name,
+		Output:        res.Outputs[f.Name],
+		Diff:          res.Diffs[f.Name],
+		MatchCount:    res.MatchCount,
+		EnvsTruncated: res.EnvsTruncated,
 	}
 }

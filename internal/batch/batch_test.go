@@ -103,7 +103,10 @@ func TestDeterministicOrderAndOutputs(t *testing.T) {
 
 func TestParseFailureMidBatch(t *testing.T) {
 	files := corpus(9)
-	files[4] = core.SourceFile{Name: "broken.c", Src: "void f( {{{"}
+	// The broken file mentions old_api so the prefilter cannot rule it out;
+	// a broken file without the patch's atoms is skipped unparsed (see
+	// TestPrefilterSkipsUnparseable).
+	files[4] = core.SourceFile{Name: "broken.c", Src: "void f( {{{ old_api"}
 	r := New(parsePatch(t, renamePatch), Options{Workers: 4})
 	st, err := r.Collect(files, nil)
 	if err != nil {
@@ -293,5 +296,166 @@ func TestCollectCallbackError(t *testing.T) {
 	}
 	if st.Files != 4 {
 		t.Errorf("Files = %d, want 4 (stopped at the failing callback)", st.Files)
+	}
+}
+
+// parityPatches exercise the prefilter's conservative paths: a plain rename,
+// a dependency chain, a virtual-gated rule, a disjunction, and a
+// fresh-identifier rule that forces the filter to widen.
+var parityPatches = []struct {
+	name    string
+	patch   string
+	defines []string
+}{
+	{name: "rename", patch: renamePatch},
+	{name: "chain", patch: `@first@
+expression list el;
+@@
+- old_api(el)
++ mid_api(el)
+
+@second depends on first@
+expression list el;
+@@
+- mid_api(el)
++ new_api(el)
+`},
+	{name: "virtual", patch: `virtual go
+
+@r depends on go@
+expression list el;
+@@
+- old_api(el)
++ new_api(el)
+`, defines: []string{"go"}},
+	{name: "disjunction", patch: `@r@
+expression E;
+@@
+- \( old_api(E, E) \| other_api(E, E) \)
++ new_api(E)
+`},
+	{name: "fresh", patch: `@r@
+expression E;
+fresh identifier tmp = "t";
+@@
+- old_api(E, E)
++ old_api(E, tmp)
+`},
+}
+
+// parityCorpus mixes matching files, near-miss files (the atom embedded in
+// a longer identifier or a comment), and plain non-matching files.
+func parityCorpus() []core.SourceFile {
+	files := corpus(12)
+	files = append(files,
+		core.SourceFile{Name: "near.c", Src: "void f(void)\n{\n\tmy_old_api(1, 2);\n}\n"},
+		core.SourceFile{Name: "comment.c", Src: "/* old_api gone */\nvoid f(void)\n{\n\tx();\n}\n"},
+		core.SourceFile{Name: "empty.c", Src: ""},
+	)
+	return files
+}
+
+// TestPrefilterParity is the prefilter's core guarantee: enabling it changes
+// nothing observable per file — outputs, diffs and match counts are
+// byte-identical — it only avoids work.
+func TestPrefilterParity(t *testing.T) {
+	files := parityCorpus()
+	for _, pc := range parityPatches {
+		t.Run(pc.name, func(t *testing.T) {
+			collect := func(noPrefilter bool) []FileResult {
+				r := New(parsePatch(t, pc.patch), Options{
+					Workers: 4,
+					Engine:  core.Options{Defines: pc.defines},
+
+					NoPrefilter: noPrefilter,
+				})
+				var out []FileResult
+				r.Run(files, func(fr FileResult) bool { out = append(out, fr); return true })
+				return out
+			}
+			off := collect(true)
+			on := collect(false)
+			if len(on) != len(off) {
+				t.Fatalf("result counts differ: on=%d off=%d", len(on), len(off))
+			}
+			skipped := 0
+			for i := range on {
+				if on[i].Skipped {
+					skipped++
+				}
+				if on[i].Output != off[i].Output {
+					t.Errorf("%s: output differs with prefilter on", on[i].Name)
+				}
+				if on[i].Diff != off[i].Diff {
+					t.Errorf("%s: diff differs with prefilter on", on[i].Name)
+				}
+				if on[i].Matches() != off[i].Matches() {
+					t.Errorf("%s: match count differs: on=%d off=%d",
+						on[i].Name, on[i].Matches(), off[i].Matches())
+				}
+				if (on[i].Err == nil) != (off[i].Err == nil) {
+					t.Errorf("%s: error presence differs: on=%v off=%v",
+						on[i].Name, on[i].Err, off[i].Err)
+				}
+				if off[i].Skipped {
+					t.Errorf("%s: NoPrefilter run must never skip", off[i].Name)
+				}
+			}
+			if skipped == 0 {
+				t.Error("prefilter never skipped anything on a mostly-non-matching corpus")
+			}
+		})
+	}
+}
+
+// TestPrefilterSkippedStats pins the Skipped accounting: skipped files count
+// in Files and Skipped, never in Matched/Changed/Errors.
+func TestPrefilterSkippedStats(t *testing.T) {
+	files := parityCorpus() // 12 corpus files (4 matching) + 3 unmatchable
+	r := New(parsePatch(t, renamePatch), Options{Workers: 2})
+	st, err := r.Collect(files, func(fr FileResult) error {
+		if fr.Skipped && (fr.Diff != "" || fr.Err != nil || fr.Matches() != 0) {
+			t.Errorf("%s: skipped result must be inert: %+v", fr.Name, fr)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Files != 15 || st.Errors != 0 {
+		t.Errorf("stats = %+v, want 15 files, 0 errors", st)
+	}
+	if st.Matched != 4 || st.Changed != 4 {
+		t.Errorf("stats = %+v, want 4 matched/changed", st)
+	}
+	// 8 corpus files call other_api, plus near.c and empty.c. comment.c
+	// mentions old_api in a comment, which conservatively counts as
+	// present, so it is parsed (and found unmatched) rather than skipped.
+	if st.Skipped != 10 {
+		t.Errorf("Skipped = %d, want 10", st.Skipped)
+	}
+}
+
+// TestPrefilterSkipsUnparseable documents the intended trade-off: a file the
+// patch provably cannot touch is never parsed, so its syntax errors go
+// unreported unless the prefilter is disabled.
+func TestPrefilterSkipsUnparseable(t *testing.T) {
+	files := []core.SourceFile{{Name: "broken.c", Src: "void f( {{{"}}
+	r := New(parsePatch(t, renamePatch), Options{Workers: 1})
+	st, err := r.Collect(files, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors != 0 || st.Skipped != 1 {
+		t.Errorf("stats = %+v, want the broken file skipped, not errored", st)
+	}
+
+	r = New(parsePatch(t, renamePatch), Options{Workers: 1, NoPrefilter: true})
+	st, err = r.Collect(files, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Errors != 1 || st.Skipped != 0 {
+		t.Errorf("stats = %+v, want a parse error with the prefilter off", st)
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/index"
 	"repro/internal/smpl"
 )
 
@@ -34,6 +35,10 @@ type Compiled struct {
 	// Patch is the parsed patch the artifacts were derived from. Treated as
 	// read-only from here on.
 	Patch *smpl.Patch
+	// Prefilter is the required-atom index derived from the patch: it
+	// answers from raw bytes whether any rule could fire on a file, letting
+	// the batch subsystem skip parsing files that provably cannot match.
+	Prefilter *index.Index
 	// Keyed by rule identity, not name: the parser does not reject
 	// duplicate rule names, and conflating two rules' metavariable tables
 	// would silently corrupt matching.
@@ -51,7 +56,11 @@ type compiledRule struct {
 // Compile derives the per-rule matching artifacts from a parsed patch. The
 // result is safe for concurrent use by multiple Engines.
 func Compile(patch *smpl.Patch) *Compiled {
-	c := &Compiled{Patch: patch, rules: make(map[*smpl.Rule]*compiledRule, len(patch.Rules))}
+	c := &Compiled{
+		Patch:     patch,
+		Prefilter: index.Build(patch),
+		rules:     make(map[*smpl.Rule]*compiledRule, len(patch.Rules)),
+	}
 	for _, rule := range patch.Rules {
 		cr := &compiledRule{metas: smpl.NewMetaTable(rule.Metas), inherits: map[string]string{}}
 		for _, md := range rule.Metas {

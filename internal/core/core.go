@@ -63,6 +63,10 @@ type Result struct {
 	MatchCount map[string]int
 	// EnvCount is the number of final environments.
 	EnvCount int
+	// EnvsTruncated reports that the environment set hit Options.MaxEnvs
+	// and further matches were dropped: the outputs are valid but possibly
+	// incomplete, and the caller should rerun with a larger cap.
+	EnvsTruncated bool
 }
 
 // Changed lists the names of files whose output differs from the input.
@@ -187,6 +191,7 @@ func (e *Engine) Run(files []SourceFile) (*Result, error) {
 		}
 		if len(envs) > e.opts.MaxEnvs {
 			envs = envs[:e.opts.MaxEnvs]
+			res.EnvsTruncated = true
 		}
 	}
 	for _, rule := range finalizers {
@@ -309,6 +314,7 @@ func (e *Engine) runMatch(rule *smpl.Rule, envs []match.Env, states []*fileState
 	var out []match.Env
 	anyMatch := false
 
+envLoop:
 	for _, env := range envs {
 		inherited := match.Env{}
 		missing := false
@@ -338,6 +344,17 @@ func (e *Engine) runMatch(rule *smpl.Rule, envs []match.Env, states []*fileState
 				if e.opts.UseCTL && !e.verifyCTL(st, rule, &mt) {
 					continue
 				}
+				// Clamp at the cap, not one past it, and stop before the
+				// match transforms anything: the old per-file break kept
+				// the outer loops collecting (and editing) across files
+				// and environments, silently overshooting the cap. The
+				// check sits after the CTL filter so a candidate that
+				// verification would reject anyway cannot raise a
+				// spurious truncation warning.
+				if len(out) >= e.opts.MaxEnvs {
+					res.EnvsTruncated = true
+					break envLoop
+				}
 				// Inherited bindings participate in plus-line substitution
 				// and are re-exported alongside this rule's own bindings.
 				merged := mt.Env.Clone()
@@ -361,9 +378,6 @@ func (e *Engine) runMatch(rule *smpl.Rule, envs []match.Env, states []*fileState
 					next[rule.Name+"."+name] = b
 				}
 				out = append(out, next)
-				if len(out) > e.opts.MaxEnvs {
-					break
-				}
 			}
 		}
 		if !envMatched {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -505,5 +506,57 @@ identifier upper.nf;
 	out := res.Outputs["t.c"]
 	if !strings.Contains(out, "wrapped_target(1);") {
 		t.Errorf("go script host rename failed:\n%s", out)
+	}
+}
+
+// TestMaxEnvsClampAndFlag pins the environment-cap semantics: the set never
+// exceeds the cap (the old code overshot it, breaking only the per-file
+// match loop), matching stops before the over-cap match transforms
+// anything, and the truncation is surfaced instead of silent.
+func TestMaxEnvsClampAndFlag(t *testing.T) {
+	patch := `@r@
+expression E;
+@@
+- probe(E)
++ probe2(E)
+`
+	var sb strings.Builder
+	sb.WriteString("void f(void)\n{\n")
+	for i := 0; i < 10; i++ {
+		fmt.Fprintf(&sb, "\tprobe(%d);\n", i)
+	}
+	sb.WriteString("}\n")
+	src := sb.String()
+
+	// Uncapped: all ten matches land, no truncation.
+	res, out := run(t, patch, src, Options{})
+	if res.EnvsTruncated {
+		t.Error("EnvsTruncated set without hitting the cap")
+	}
+	if got := strings.Count(out, "probe2("); got != 10 {
+		t.Errorf("uncapped rewrites = %d, want 10", got)
+	}
+
+	// Capped at 4: exactly 4 environments survive, exactly 4 rewrites
+	// happen (no edits from dropped matches), and the flag is raised.
+	res, out = run(t, patch, src, Options{MaxEnvs: 4})
+	if !res.EnvsTruncated {
+		t.Error("EnvsTruncated not set although matches were dropped")
+	}
+	if res.EnvCount > 4 {
+		t.Errorf("EnvCount = %d exceeds MaxEnvs=4", res.EnvCount)
+	}
+	if got := strings.Count(out, "probe2("); got != 4 {
+		t.Errorf("capped rewrites = %d, want exactly MaxEnvs=4", got)
+	}
+	if res.MatchCount["r"] != 4 {
+		t.Errorf("MatchCount = %d, want 4", res.MatchCount["r"])
+	}
+
+	// A cap that is not reached must not raise the flag, even at the
+	// boundary.
+	res, _ = run(t, patch, src, Options{MaxEnvs: 10})
+	if res.EnvsTruncated {
+		t.Error("EnvsTruncated set although every match fit exactly")
 	}
 }

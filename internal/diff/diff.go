@@ -202,7 +202,18 @@ func format(labelA, labelB string, a, b []string, ops []op, ctx int) string {
 				bCount++
 			}
 		}
-		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", aStart+1, aCount, bStart+1, bCount)
+		// POSIX: a zero-length range names the line *before* which the
+		// change applies, so pure insertions/deletions print the 0-based
+		// position (e.g. "@@ -0,0 +1,N @@" for inserting into an empty
+		// file), not start+1.
+		aPos, bPos := aStart+1, bStart+1
+		if aCount == 0 {
+			aPos = aStart
+		}
+		if bCount == 0 {
+			bPos = bStart
+		}
+		fmt.Fprintf(&sb, "@@ -%d,%d +%d,%d @@\n", aPos, aCount, bPos, bCount)
 		for _, o := range h.ops {
 			switch o.kind {
 			case opEq:
@@ -226,8 +237,16 @@ func allEq(ops []op) bool {
 	return true
 }
 
+// writeLine emits one hunk line. Only a file's final line can lack the
+// trailing newline (splitLines keeps terminators); POSIX requires it to be
+// flagged with a "\ No newline at end of file" marker rather than silently
+// gaining one, so that patch(1) reproduces the original byte-for-byte.
 func writeLine(sb *strings.Builder, prefix, line string) {
 	sb.WriteString(prefix)
-	sb.WriteString(strings.TrimSuffix(line, "\n"))
-	sb.WriteString("\n")
+	if strings.HasSuffix(line, "\n") {
+		sb.WriteString(line)
+		return
+	}
+	sb.WriteString(line)
+	sb.WriteString("\n\\ No newline at end of file\n")
 }

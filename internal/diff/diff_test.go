@@ -125,3 +125,71 @@ func containsInOrder(s, sub string) bool {
 	}
 	return true
 }
+
+func TestNoNewlineAtEOFMarkers(t *testing.T) {
+	cases := []struct {
+		name, a, b string
+		wantLines  []string
+	}{
+		{
+			name: "b loses final newline",
+			a:    "one\ntwo\n",
+			b:    "one\ntwo",
+			wantLines: []string{
+				"-two",
+				"+two", "\\ No newline at end of file",
+			},
+		},
+		{
+			name: "a lacked final newline",
+			a:    "one\ntwo",
+			b:    "one\ntwo\n",
+			wantLines: []string{
+				"-two", "\\ No newline at end of file",
+				"+two",
+			},
+		},
+		{
+			name: "both lack newline, last line changed",
+			a:    "one\nold",
+			b:    "one\nnew",
+			wantLines: []string{
+				"-old", "\\ No newline at end of file",
+				"+new", "\\ No newline at end of file",
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d := Unified("a", "b", c.a, c.b)
+			rest := d
+			for _, w := range c.wantLines {
+				i := strings.Index(rest, w+"\n")
+				if i < 0 {
+					t.Fatalf("diff missing %q (in order):\n%s", w, d)
+				}
+				rest = rest[i+len(w)+1:]
+			}
+		})
+	}
+	// A diff that does not touch the unterminated final line must not
+	// mention it at all.
+	d := Unified("a", "b", "CHANGE\nmid1\nmid2\nmid3\nlast", "changed\nmid1\nmid2\nmid3\nlast")
+	if strings.Contains(d, "No newline") {
+		t.Errorf("marker emitted for untouched final line:\n%s", d)
+	}
+}
+
+func TestZeroRangeHunkHeaders(t *testing.T) {
+	// Pure insertion into an empty file: POSIX wants -0,0 (insert before
+	// line 1), never -1,0.
+	d := Unified("a", "b", "", "one\ntwo\n")
+	if !strings.Contains(d, "@@ -0,0 +1,2 @@") {
+		t.Errorf("empty-source insertion header wrong:\n%s", d)
+	}
+	// Deleting everything: symmetric +0,0.
+	d = Unified("a", "b", "one\ntwo\n", "")
+	if !strings.Contains(d, "@@ -1,2 +0,0 @@") {
+		t.Errorf("delete-all header wrong:\n%s", d)
+	}
+}

@@ -1,0 +1,310 @@
+// Package index implements the batch engine's required-atom prefilter: a
+// per-patch index answering, from raw file bytes alone, "can any rule of
+// this patch possibly fire on this file?". It is the role glimpse/idutils
+// token indexes play for spatch — on a corpus where most files cannot
+// match, skipping the parser on provably irrelevant files is the dominant
+// speedup, because parsing costs orders of magnitude more than a handful
+// of substring scans.
+//
+// For every match rule the index extracts *required atoms*: literal
+// identifiers on context and minus lines that the matcher compares by
+// name, so any file the rule matches must contain them as complete words.
+// Per-file evaluation then walks the rules in order under three-valued
+// logic (no / maybe / yes), mirroring how Engine.Run gates rules on the
+// Matched set: a rule whose dependency cannot hold, or whose atoms are
+// absent, can never fire; a file is skipped only when *every* rule that
+// could touch the result evaluates to "no". Virtual rules resolve from the
+// run's defines; rules that may run after a firing transform rule widen
+// the filter with the words that transform could insert (or disable it
+// when the insertions are not statically known, e.g. fresh identifiers or
+// script-computed bindings).
+//
+// The filter is deliberately one-sided: MayMatch == true promises nothing,
+// but MayMatch == false guarantees the engine would leave the file
+// untouched and report no matches, so a skipped file's result can be
+// synthesized without parsing.
+package index
+
+import (
+	"repro/internal/cast"
+	"repro/internal/smpl"
+)
+
+// tri is the three-valued truth of "this rule fires on this file".
+type tri uint8
+
+const (
+	triNo tri = iota
+	triMaybe
+	triYes
+)
+
+// ruleInfo is the per-rule slice of the index.
+type ruleInfo struct {
+	name    string
+	kind    smpl.RuleKind
+	depends *smpl.DepExpr
+	// atoms must all be present (as words) for a match rule to possibly
+	// match; empty means the rule is unconditionally "maybe".
+	atoms []string
+	// groups are at-least-one-of word sets from disjunctions: a matching
+	// file must contain some member of every group.
+	groups [][]string
+	// plusAtoms are literal words the rule's plus lines insert; once the
+	// rule may fire, later rules' atoms may be satisfied by them.
+	plusAtoms []string
+	// insertsUnknown marks plus lines whose inserted text is not statically
+	// known (fresh identifiers, script- or taint-derived bindings): after
+	// such a rule may fire, no later atom can be ruled absent.
+	insertsUnknown bool
+	// inputRules names the source rules of a script rule's inputs; if any
+	// of them cannot fire, the script body never executes.
+	inputRules []string
+}
+
+// Index is the compiled prefilter for one patch. It is immutable after
+// Build and safe for concurrent use by any number of workers.
+type Index struct {
+	rules []ruleInfo
+	// virtuals are the names declared `virtual`, resolved per run from the
+	// defines (spatch -D).
+	virtuals map[string]bool
+}
+
+// Build derives the prefilter from a parsed patch. It never fails: a rule
+// the analysis cannot bound simply contributes an always-maybe entry, which
+// only weakens the filter.
+func Build(p *smpl.Patch) *Index {
+	ix := &Index{virtuals: map[string]bool{}}
+	for _, v := range p.Virtuals {
+		ix.virtuals[v] = true
+	}
+	// tainted marks rule names whose exported bindings may hold text that
+	// occurs nowhere in the source file: script outputs are computed, fresh
+	// identifiers are synthesized, and match rules re-export everything
+	// they inherit, so taint propagates along inheritance.
+	tainted := map[string]bool{}
+	for _, r := range p.Rules {
+		ri := ruleInfo{name: r.Name, kind: r.Kind, depends: r.Depends}
+		switch r.Kind {
+		case smpl.ScriptRule:
+			if len(r.Outputs) > 0 {
+				tainted[r.Name] = true
+			}
+			for _, in := range r.Inputs {
+				ri.inputRules = append(ri.inputRules, in.Rule)
+			}
+		case smpl.MatchRule:
+			metas := smpl.NewMetaTable(r.Metas)
+			if r.Pattern != nil {
+				ex := newExtractor(metas)
+				ex.pattern(r.Pattern)
+				ri.atoms, ri.groups = ex.finish()
+			}
+			t := false
+			for _, md := range r.Metas {
+				if md.Kind == cast.MetaFreshIdentKind {
+					t = true
+				}
+				if md.FromRule != "" && tainted[md.FromRule] {
+					t = true
+				}
+			}
+			if t {
+				tainted[r.Name] = true
+			}
+			ri.plusAtoms, ri.insertsUnknown = plusInsertions(r, metas, tainted)
+		}
+		ix.rules = append(ix.rules, ri)
+	}
+	return ix
+}
+
+// plusInsertions classifies every identifier word of the rule's plus lines.
+// A word that names one of the rule's metavariables is replaced at apply
+// time: if the binding can only come from matching this same file, the
+// replacement introduces no new words; fresh identifiers and taint-derived
+// bindings can introduce anything. All remaining words are inserted
+// verbatim.
+func plusInsertions(r *smpl.Rule, metas *smpl.MetaTable, tainted map[string]bool) (atoms []string, unknown bool) {
+	if r.Pattern == nil {
+		return nil, false
+	}
+	seen := map[string]bool{}
+	for _, blk := range r.Pattern.PlusBlocks {
+		for _, line := range blk.Text {
+			for _, w := range identWords(line) {
+				if seen[w] {
+					continue
+				}
+				seen[w] = true
+				d, ok := metas.Decl(w)
+				if !ok {
+					atoms = append(atoms, w)
+					continue
+				}
+				if d.Kind == cast.MetaFreshIdentKind ||
+					(d.FromRule != "" && tainted[d.FromRule]) {
+					unknown = true
+				}
+			}
+		}
+	}
+	return atoms, unknown
+}
+
+// Filter is an Index specialized to one run's virtual defines. Like the
+// Index it is immutable and safe for concurrent use.
+type Filter struct {
+	ix *Index
+	// base holds the pre-run truth per name: defined virtuals are yes,
+	// declared-but-undefined virtuals are no (absent names default to no
+	// at evaluation time, exactly like the engine's Matched map).
+	base map[string]tri
+}
+
+// ForDefines specializes the index to a define set.
+func (ix *Index) ForDefines(defines []string) *Filter {
+	f := &Filter{ix: ix, base: map[string]tri{}}
+	for v := range ix.virtuals {
+		f.base[v] = triNo
+	}
+	for _, d := range defines {
+		f.base[d] = triYes
+	}
+	return f
+}
+
+// MayMatch reports whether the patch could possibly fire on src. False is a
+// guarantee: running the engine on src would change nothing and count no
+// matches, so the caller may skip parsing entirely and report the input
+// unchanged.
+func (f *Filter) MayMatch(src string) bool {
+	// fired accumulates per-name truth in rule order, mirroring how
+	// Engine.Run's Matched map evolves: dependencies see the state the
+	// preceding rules left behind.
+	fired := make(map[string]tri, len(f.base)+len(f.ix.rules))
+	for k, v := range f.base {
+		fired[k] = v
+	}
+	present := make(map[string]tri, 8)
+	has := func(w string) bool {
+		if v, ok := present[w]; ok {
+			return v == triYes
+		}
+		v := triNo
+		if ContainsWord(src, w) {
+			v = triYes
+		}
+		present[w] = v
+		return v == triYes
+	}
+	inserted := map[string]bool{}
+	insertedUnknown := false
+	any := false
+
+	for _, r := range f.ix.rules {
+		var v tri
+		switch r.kind {
+		case smpl.FinalizeRule:
+			// Finalizers run unconditionally (their dependency is not
+			// consulted), so a patch with one can never skip a file.
+			v = triMaybe
+		case smpl.InitializeRule:
+			// Initialize bodies don't touch the result, but they execute
+			// whenever their dependency holds — and execution can fail,
+			// which surfaces as the file's error. Be conservative.
+			if evalDep(r.depends, fired) != triNo {
+				v = triMaybe
+			}
+		case smpl.ScriptRule:
+			if evalDep(r.depends, fired) != triNo {
+				v = triMaybe
+				// Every input must be bindable; one unfirable source rule
+				// means the body never runs for any environment.
+				for _, in := range r.inputRules {
+					if fired[in] == triNo {
+						v = triNo
+						break
+					}
+				}
+			}
+		case smpl.MatchRule:
+			if evalDep(r.depends, fired) != triNo {
+				v = triMaybe
+				if !insertedUnknown {
+					for _, a := range r.atoms {
+						if !has(a) && !inserted[a] {
+							v = triNo
+							break
+						}
+					}
+					for _, g := range r.groups {
+						if v == triNo {
+							break
+						}
+						anyIn := false
+						for _, a := range g {
+							if has(a) || inserted[a] {
+								anyIn = true
+								break
+							}
+						}
+						if !anyIn {
+							v = triNo
+						}
+					}
+				}
+			}
+			if v != triNo {
+				for _, w := range r.plusAtoms {
+					inserted[w] = true
+				}
+				if r.insertsUnknown {
+					insertedUnknown = true
+				}
+			}
+		}
+		// Only match and script rules enter the engine's Matched map;
+		// initialize/finalize rules never satisfy a dependency by name.
+		if (r.kind == smpl.MatchRule || r.kind == smpl.ScriptRule) && v > fired[r.name] {
+			fired[r.name] = v
+		}
+		if v != triNo {
+			any = true
+		}
+	}
+	return any
+}
+
+// evalDep evaluates a dependency expression in three-valued logic over the
+// per-name truth accumulated so far. Names absent from fired are no, like
+// names absent from the engine's Matched map.
+func evalDep(d *smpl.DepExpr, fired map[string]tri) tri {
+	if d == nil {
+		return triYes
+	}
+	if len(d.And) > 0 {
+		v := triYes
+		for _, c := range d.And {
+			if cv := evalDep(c, fired); cv < v {
+				v = cv
+			}
+		}
+		return v
+	}
+	if len(d.Or) > 0 {
+		v := triNo
+		for _, c := range d.Or {
+			if cv := evalDep(c, fired); cv > v {
+				v = cv
+			}
+		}
+		return v
+	}
+	v := fired[d.Name]
+	if d.Not {
+		return triYes - v
+	}
+	return v
+}

@@ -49,6 +49,12 @@ type Options struct {
 	// Workers is the pool size for BatchApplier; <= 0 means GOMAXPROCS.
 	// Ignored by the single-threaded Applier.
 	Workers int
+	// NoPrefilter disables the BatchApplier's required-atom prefilter, so
+	// every file is parsed and matched even when it provably cannot be
+	// touched by the patch. Outputs are identical either way; disable the
+	// filter to surface parse errors in files the patch cannot match, or
+	// to measure its effect. Ignored by the single-threaded Applier.
+	NoPrefilter bool
 }
 
 func (o Options) internal() core.Options {
@@ -56,6 +62,10 @@ func (o Options) internal() core.Options {
 		CPlusPlus: o.CPlusPlus, Std: o.Std, CUDA: o.CUDA,
 		UseCTL: o.UseCTL, MaxEnvs: o.MaxEnvs, Defines: o.Defines,
 	}
+}
+
+func (o Options) batch() batch.Options {
+	return batch.Options{Engine: o.internal(), Workers: o.Workers, NoPrefilter: o.NoPrefilter}
 }
 
 // File is one source file to patch.
@@ -74,6 +84,10 @@ type Result struct {
 	Matched map[string]bool
 	// MatchCount counts matches per rule.
 	MatchCount map[string]int
+	// EnvsTruncated reports that the run hit Options.MaxEnvs and dropped
+	// matches: outputs are valid but possibly incomplete. Rerun with a
+	// larger cap to get every match.
+	EnvsTruncated bool
 }
 
 // Changed lists files whose output differs from the input.
@@ -153,10 +167,11 @@ func (a *Applier) Apply(files ...File) (*Result, error) {
 		return nil, err
 	}
 	return &Result{
-		Outputs:    res.Outputs,
-		Diffs:      res.Diffs,
-		Matched:    res.Matched,
-		MatchCount: res.MatchCount,
+		Outputs:       res.Outputs,
+		Diffs:         res.Diffs,
+		Matched:       res.Matched,
+		MatchCount:    res.MatchCount,
+		EnvsTruncated: res.EnvsTruncated,
 	}, nil
 }
 
@@ -179,6 +194,13 @@ type FileResult struct {
 	Diff string
 	// MatchCount counts matches per rule in this file.
 	MatchCount map[string]int
+	// Skipped reports that the required-atom prefilter proved no rule
+	// could fire on this file, so it was never parsed; Output equals the
+	// input and Diff is empty, exactly as a full run would have produced.
+	Skipped bool
+	// EnvsTruncated reports that this file's run hit Options.MaxEnvs and
+	// dropped matches (see Result.EnvsTruncated).
+	EnvsTruncated bool
 	// Err is this file's failure; other files in the batch still complete.
 	Err error
 }
@@ -193,6 +215,7 @@ type BatchStats struct {
 	Changed int // files whose output differs from the input
 	Errors  int // files that failed (parse or script error)
 	Matches int // total rule matches across all files
+	Skipped int // files the prefilter rejected without parsing
 }
 
 // BatchApplier applies one patch across many files concurrently with a
@@ -207,7 +230,7 @@ type BatchApplier struct {
 
 // NewBatchApplier compiles the patch for concurrent application.
 func NewBatchApplier(p *Patch, opts Options) *BatchApplier {
-	return &BatchApplier{r: batch.New(p.p, batch.Options{Engine: opts.internal(), Workers: opts.Workers})}
+	return &BatchApplier{r: batch.New(p.p, opts.batch())}
 }
 
 // RegisterScript installs a Go handler for the named script rule on every
@@ -261,11 +284,13 @@ func (b *BatchApplier) ApplyAllPathsFunc(paths []string, fn func(FileResult) err
 
 func publicResult(fr batch.FileResult) FileResult {
 	return FileResult{
-		Name:       fr.Name,
-		Output:     fr.Output,
-		Diff:       fr.Diff,
-		MatchCount: fr.MatchCount,
-		Err:        fr.Err,
+		Name:          fr.Name,
+		Output:        fr.Output,
+		Diff:          fr.Diff,
+		MatchCount:    fr.MatchCount,
+		Skipped:       fr.Skipped,
+		EnvsTruncated: fr.EnvsTruncated,
+		Err:           fr.Err,
 	}
 }
 
@@ -276,6 +301,7 @@ func publicStats(st batch.Stats) BatchStats {
 		Changed: st.Changed,
 		Errors:  st.Errors,
 		Matches: st.Matches,
+		Skipped: st.Skipped,
 	}
 }
 

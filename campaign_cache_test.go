@@ -1,0 +1,170 @@
+package sempatch
+
+// Public-API tests for the persistent corpus index and campaign mode: the
+// cache must be invisible in outputs (cold == warm == disabled, byte for
+// byte), campaigns must parse each unchanged file exactly once however many
+// patches they apply, and warm runs must not parse at all.
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/cparse"
+)
+
+// parityCorpus is the realistic whole-codebase shape: most files cannot
+// match, a few can.
+func parityCorpus(n int) []File {
+	files := make([]File, n)
+	for i := range files {
+		src := codegen.Mixed(codegen.Config{Funcs: 4 + i%3, StmtsPerFunc: 2, Seed: int64(i + 1)})
+		if i%5 == 0 {
+			src += fmt.Sprintf("\nvoid migrate_%d(int n)\n{\n\tlegacy_halo_exchange(n, %d);\n}\n", i, i)
+		}
+		files[i] = File{Name: fmt.Sprintf("src%03d.c", i), Src: src}
+	}
+	return files
+}
+
+const parityPatch = `@r@
+expression list el;
+@@
+- legacy_halo_exchange(el)
++ halo_exchange_v2(el)
+`
+
+// TestCacheParity pins the cache's one non-negotiable property: outputs are
+// byte-identical with the cache cold, warm, and disabled, for every file —
+// diffs, outputs, and match counts alike.
+func TestCacheParity(t *testing.T) {
+	files := parityCorpus(30)
+	patch, err := ParsePatch("parity.cocci", parityPatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "cache")
+
+	collect := func(opts Options) ([]FileResult, BatchStats) {
+		var out []FileResult
+		st, err := NewBatchApplier(patch, opts).ApplyAllFunc(files, func(fr FileResult) error {
+			if fr.Err != nil {
+				return fr.Err
+			}
+			out = append(out, fr)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, st
+	}
+
+	disabled, _ := collect(Options{Workers: 4})
+	cold, coldSt := collect(Options{Workers: 4, CacheDir: dir})
+	warm, warmSt := collect(Options{Workers: 4, CacheDir: dir})
+
+	if coldSt.Cached != 0 {
+		t.Errorf("cold run reported %d cached", coldSt.Cached)
+	}
+	if warmSt.Cached != len(files) {
+		t.Errorf("warm run cached %d of %d files", warmSt.Cached, len(files))
+	}
+	for i := range files {
+		for _, mode := range []struct {
+			name string
+			fr   FileResult
+		}{{"cold", cold[i]}, {"warm", warm[i]}} {
+			if mode.fr.Output != disabled[i].Output {
+				t.Errorf("%s %s: output differs from cache-disabled run", mode.name, files[i].Name)
+			}
+			if mode.fr.Diff != disabled[i].Diff {
+				t.Errorf("%s %s: diff differs from cache-disabled run", mode.name, files[i].Name)
+			}
+			if fmt.Sprint(mode.fr.MatchCount) != fmt.Sprint(disabled[i].MatchCount) {
+				t.Errorf("%s %s: match counts differ", mode.name, files[i].Name)
+			}
+		}
+	}
+	// A warm run touches the parser not at all.
+	before := cparse.Parses()
+	if _, err := NewBatchApplier(patch, Options{Workers: 4, CacheDir: dir}).ApplyAllFunc(files, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := cparse.Parses() - before; got != 0 {
+		t.Errorf("warm cached run parsed %d files, want 0", got)
+	}
+}
+
+// TestCampaignParsesOnce asserts the campaign's headline contract via the
+// parser's instrumentation: N patches over an unchanged corpus parse each
+// file exactly once, where N sequential single-patch runs would parse it N
+// times (minus prefilter skips).
+func TestCampaignParsesOnce(t *testing.T) {
+	// Context-only probes: every patch matches every file (a function
+	// definition always exists) and none transforms, so no re-parses are
+	// ever justified.
+	probe := "@probe%d@\ntype T;\nidentifier f;\nparameter list PL;\nstatement list SL;\n@@\nT f (PL) { SL }\n"
+	var patches []*Patch
+	for i := 0; i < 4; i++ {
+		p, err := ParsePatch(fmt.Sprintf("probe%d.cocci", i), fmt.Sprintf(probe, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		patches = append(patches, p)
+	}
+	files := parityCorpus(20)
+
+	before := cparse.Parses()
+	st, err := NewCampaign(patches, Options{Workers: 4}).ApplyAllFunc(files, func(fr CampaignFileResult) error {
+		return fr.Err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cparse.Parses() - before; got != int64(len(files)) {
+		t.Errorf("campaign over %d patches parsed %d times for %d files, want one parse per file",
+			len(patches), got, len(files))
+	}
+	for i, ps := range st.PerPatch {
+		if ps.Matched != len(files) {
+			t.Errorf("probe patch %d matched %d of %d files", i, ps.Matched, len(files))
+		}
+	}
+}
+
+// A campaign whose members transform re-parses only what changed: the
+// changed file is parsed once for the sweep plus once after the rewrite
+// (the engine re-parses edited text before the next member matches it).
+func TestCampaignSequencing(t *testing.T) {
+	first, err := ParsePatch("a.cocci", "@a@\nexpression list el;\n@@\n- step_one(el)\n+ step_two(el)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ParsePatch("b.cocci", "@b@\nexpression list el;\n@@\n- step_two(el)\n+ step_three(el)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []File{
+		{Name: "x.c", Src: "void x(void)\n{\n\tstep_one(1);\n}\n"},
+		{Name: "y.c", Src: "void y(void)\n{\n\tidle();\n}\n"},
+	}
+	var got []CampaignFileResult
+	for fr := range NewCampaign([]*Patch{first, second}, Options{}).ApplyAll(files) {
+		if fr.Err != nil {
+			t.Fatal(fr.Err)
+		}
+		got = append(got, fr)
+	}
+	if !strings.Contains(got[0].Output, "step_three(1)") {
+		t.Errorf("second patch did not see the first's output:\n%s", got[0].Output)
+	}
+	if !got[0].Patches[0].Changed || !got[0].Patches[1].Changed {
+		t.Errorf("per-patch outcomes wrong: %+v", got[0].Patches)
+	}
+	if got[1].Changed() || !got[1].Patches[0].Skipped || !got[1].Patches[1].Skipped {
+		t.Errorf("non-matching file should be skipped by both prefilters: %+v", got[1].Patches)
+	}
+}

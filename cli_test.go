@@ -189,7 +189,7 @@ func TestCLIGocciRecursive(t *testing.T) {
 	if got := strings.Count(s, "+\tsolver_init_v2(g, rank);"); got != 3 {
 		t.Errorf("want 3 patched files in diff, got %d:\n%s", got, s)
 	}
-	if !strings.Contains(s, "3 files scanned, 0 skipped by prefilter, 3 matched") || !strings.Contains(s, "3 changed") {
+	if !strings.Contains(s, "3 files scanned, 0 skipped by prefilter, 0 cached, 3 matched") || !strings.Contains(s, "3 changed") {
 		t.Errorf("stats summary missing or wrong:\n%s", s)
 	}
 	// Diffs must come out in sorted path order regardless of workers.
@@ -225,7 +225,7 @@ func TestCLIGocciPrefilterStats(t *testing.T) {
 	if err != nil {
 		t.Fatalf("gocci -r --stats: %v\n%s", err, out)
 	}
-	if !strings.Contains(string(out), "2 files scanned, 1 skipped by prefilter, 1 matched") {
+	if !strings.Contains(string(out), "2 files scanned, 1 skipped by prefilter, 0 cached, 1 matched") {
 		t.Errorf("stats should count the skipped file:\n%s", out)
 	}
 
@@ -233,8 +233,193 @@ func TestCLIGocciPrefilterStats(t *testing.T) {
 	if err != nil {
 		t.Fatalf("gocci -r --stats --no-prefilter: %v\n%s", err, out)
 	}
-	if !strings.Contains(string(out), "2 files scanned, 0 skipped by prefilter, 1 matched") {
+	if !strings.Contains(string(out), "2 files scanned, 0 skipped by prefilter, 0 cached, 1 matched") {
 		t.Errorf("--no-prefilter should parse everything:\n%s", out)
+	}
+}
+
+// Several positional .cocci files run as a campaign: each file sees the
+// patches in command order, so chain.cocci fires on rename.cocci's output
+// and the printed diff is the net effect.
+func TestCLIGocciCampaign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gocci")
+	src, err := os.ReadFile("testdata/setup.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := t.TempDir()
+	if err := os.WriteFile(filepath.Join(tree, "a.c"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-r", "--stats", tree,
+		"testdata/rename.cocci", "testdata/chain.cocci").CombinedOutput()
+	if err != nil {
+		t.Fatalf("gocci campaign: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "+\tsolver_init_v3(g, rank);") {
+		t.Errorf("second patch did not fire on the first's output:\n%s", s)
+	}
+	if strings.Contains(s, "solver_init_v2") {
+		t.Errorf("net diff leaks the intermediate state:\n%s", s)
+	}
+	for _, w := range []string{
+		"1 files scanned, 1 changed",
+		"patch testdata/rename.cocci:",
+		"patch testdata/chain.cocci:",
+	} {
+		if !strings.Contains(s, w) {
+			t.Errorf("campaign stats missing %q:\n%s", w, s)
+		}
+	}
+}
+
+// In non-recursive mode too, a -D name declared virtual in only one of the
+// patches configures that patch and is invisible to the others, and
+// --quiet attributes rule match counts to their own patch even when rule
+// names collide.
+func TestCLIGocciMultiPatchSingleMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gocci")
+	dir := t.TempDir()
+	va := filepath.Join(dir, "va.cocci")
+	vb := filepath.Join(dir, "vb.cocci")
+	vc := filepath.Join(dir, "vc.cocci")
+	src := filepath.Join(dir, "t.c")
+	writeAll := map[string]string{
+		va:  "virtual foo;\n@a depends on foo@\nexpression list el;\n@@\n- alpha(el)\n+ alpha2(el)\n",
+		vb:  "@fix@\nexpression list el;\n@@\n- beta(el)\n+ beta2(el)\n",
+		vc:  "@fix@\nexpression list el;\n@@\n- beta2(el)\n+ beta3(el)\n",
+		src: "void t(void)\n{\n\talpha(1);\n\tbeta(2);\n}\n",
+	}
+	for path, content := range writeAll {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	out, err := exec.Command(bin, "-D", "foo", va, vb, src).CombinedOutput()
+	if err != nil {
+		t.Fatalf("-D declared in one patch must not abort the run: %v\n%s", err, out)
+	}
+	for _, w := range []string{"alpha2(1)", "beta2(2)"} {
+		if !strings.Contains(string(out), w) {
+			t.Errorf("diff missing %q:\n%s", w, out)
+		}
+	}
+	if err := exec.Command(bin, "-D", "nonsense", va, vb, src).Run(); err == nil {
+		t.Error("a define declared in no patch must fail the run")
+	}
+
+	// Both patches name their rule `fix` and match once each; the counts
+	// must not merge.
+	out, err = exec.Command(bin, "--quiet", vb, vc, src).Output()
+	if err != nil {
+		t.Fatalf("gocci --quiet: %v", err)
+	}
+	s := string(out)
+	if strings.Count(s, "matches=1") != 2 || strings.Contains(s, "matches=2") {
+		t.Errorf("per-patch rule counts merged:\n%s", s)
+	}
+	if !strings.Contains(s, vb+":") || !strings.Contains(s, vc+":") {
+		t.Errorf("quiet lines not attributed to their patch:\n%s", s)
+	}
+}
+
+// A warm --cache-dir run replays results — reported as cached, distinctly
+// from prefilter skips — and prints byte-identical diffs.
+func TestCLIGocciCacheWarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gocci")
+	src, err := os.ReadFile("testdata/setup.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := t.TempDir()
+	if err := os.WriteFile(filepath.Join(tree, "hit.c"), src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	miss := "void unrelated(void)\n{\n\tnothing_here(1);\n}\n"
+	if err := os.WriteFile(filepath.Join(tree, "miss.c"), []byte(miss), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+
+	run := func() (string, string) {
+		cmd := exec.Command(bin, "-r", "--stats", "--cache-dir", cacheDir, tree, "testdata/rename.cocci")
+		var stdout, stderr strings.Builder
+		cmd.Stdout, cmd.Stderr = &stdout, &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("gocci --cache-dir: %v\n%s", err, stderr.String())
+		}
+		return stdout.String(), stderr.String()
+	}
+	coldOut, coldErr := run()
+	warmOut, warmErr := run()
+	if warmOut != coldOut {
+		t.Errorf("warm diffs differ from cold:\ncold:\n%s\nwarm:\n%s", coldOut, warmOut)
+	}
+	if !strings.Contains(coldErr, "1 skipped by prefilter, 0 cached") {
+		t.Errorf("cold stats wrong:\n%s", coldErr)
+	}
+	if !strings.Contains(warmErr, "0 skipped by prefilter, 2 cached") {
+		t.Errorf("warm stats should report both files cached, distinct from skipped:\n%s", warmErr)
+	}
+
+	// Corrupt every result entry: the next run must drop and rebuild them,
+	// still print the right diff, and say what happened.
+	err = filepath.WalkDir(filepath.Join(cacheDir, "res"), func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		return os.WriteFile(path, []byte("{garbage"), 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	healOut, healErr := run()
+	if healOut != coldOut {
+		t.Errorf("output after corruption differs:\n%s", healOut)
+	}
+	if !strings.Contains(healErr, "corrupt cache entries") || !strings.Contains(healErr, "dropped and rebuilt") {
+		t.Errorf("corruption not reported with remediation:\n%s", healErr)
+	}
+	// And the rebuild healed the cache.
+	_, finalErr := run()
+	if !strings.Contains(finalErr, "2 cached") {
+		t.Errorf("cache did not heal:\n%s", finalErr)
+	}
+}
+
+// An unusable --cache-dir is a hard error with a clear remediation message,
+// exit code 1 — never a silent fallback.
+func TestCLIGocciCacheDirUnusable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gocci")
+	tree := t.TempDir()
+	if err := os.WriteFile(filepath.Join(tree, "a.c"), []byte("void f(void) {}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	notADir := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(notADir, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "-r", "--cache-dir", notADir, tree, "testdata/rename.cocci").CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 1 {
+		t.Fatalf("want exit 1, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "delete it or choose another --cache-dir") {
+		t.Errorf("no remediation message:\n%s", out)
 	}
 }
 

@@ -1,20 +1,24 @@
-// Command gocci applies a semantic patch to C/C++ source files, printing a
+// Command gocci applies semantic patches to C/C++ source files, printing a
 // unified diff by default (like spatch) or rewriting files in place.
 //
 // Usage:
 //
 //	gocci --sp-file patch.cocci [-cxx STD] [--cuda] [--use-ctl]
 //	      [--in-place] file.c [file2.c ...]
-//	gocci -j 8 -r --stats path/to/tree patch.cocci
+//	gocci -j 8 -r --stats [--cache-dir DIR] path/to/tree patch.cocci [more.cocci ...]
 //
 // With an explicit file list, one engine processes all files together and
 // metavariable bindings flow across files between rules. In recursive mode
 // (-r) the positional arguments are directories, scanned for C/C++/CUDA
-// sources, and the patch is applied to each file independently with a -j
-// worker pool; files are read lazily inside the pool, a required-atom
-// prefilter skips files the patch provably cannot touch (disable with
-// --no-prefilter), and diffs stream in deterministic path order. The patch
-// may be named either with --sp-file or as a positional .cocci argument.
+// sources, and the patches are applied to each file independently with a
+// -j worker pool; files are read lazily inside the pool, a required-atom
+// prefilter skips files a patch provably cannot touch (disable with
+// --no-prefilter), and diffs stream in deterministic path order. Patches
+// are named with --sp-file and/or as positional .cocci arguments; giving
+// several runs them as a campaign, each file seeing the patches in command
+// order but parsed at most once. --cache-dir enables the persistent corpus
+// index: re-runs over unchanged files replay cached results instead of
+// re-scanning, re-parsing, and re-matching them.
 package main
 
 import (
@@ -50,64 +54,102 @@ func main() {
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker count for recursive batch application")
 	stats := flag.Bool("stats", false, "print a files/matches/changes summary to stderr")
 	noPrefilter := flag.Bool("no-prefilter", false, "parse every file in recursive mode, even those the patch provably cannot touch")
+	cacheDir := flag.String("cache-dir", "", "persistent corpus-index directory for recursive mode; re-runs over unchanged files replay cached results")
 	var defines defineList
 	flag.Var(&defines, "D", "define a virtual dependency name (repeatable)")
 	flag.Parse()
 
 	args := flag.Args()
-	// Positional patch: the first argument ending in .cocci, when --sp-file
-	// is absent, so `gocci -j 8 -r dir patch.cocci` works as expected.
-	if *spFile == "" {
-		for i, a := range args {
-			if strings.HasSuffix(a, ".cocci") {
-				*spFile = a
-				args = append(args[:i:i], args[i+1:]...)
-				break
-			}
+	// Positional patches: every argument ending in .cocci, in command
+	// order, so `gocci -j 8 -r dir a.cocci b.cocci` runs a campaign.
+	var patchFiles []string
+	if *spFile != "" {
+		patchFiles = append(patchFiles, *spFile)
+	}
+	var rest []string
+	for _, a := range args {
+		if strings.HasSuffix(a, ".cocci") {
+			patchFiles = append(patchFiles, a)
+		} else {
+			rest = append(rest, a)
 		}
 	}
-	if *spFile == "" || len(args) == 0 {
+	args = rest
+	if len(patchFiles) == 0 || len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: gocci --sp-file patch.cocci [options] file.c ...")
-		fmt.Fprintln(os.Stderr, "       gocci [-j N] -r [options] dir ... patch.cocci")
+		fmt.Fprintln(os.Stderr, "       gocci [-j N] -r [options] dir ... patch.cocci [more.cocci ...]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
 
-	patch, err := sempatch.ParsePatchFile(*spFile)
-	if err != nil {
-		fatal(err)
+	patches := make([]*sempatch.Patch, len(patchFiles))
+	for i, pf := range patchFiles {
+		p, err := sempatch.ParsePatchFile(pf)
+		if err != nil {
+			fatal(err)
+		}
+		patches[i] = p
+	}
+	if *cacheDir != "" && !*recurse {
+		fmt.Fprintln(os.Stderr, "gocci: warning: --cache-dir only applies to recursive (-r) mode; ignored")
+		*cacheDir = ""
 	}
 	opts := sempatch.Options{
 		CPlusPlus: *cxx > 0, Std: *cxx, CUDA: *cuda, UseCTL: *useCTL,
 		Defines: defines, Workers: *workers, NoPrefilter: *noPrefilter,
+		CacheDir: *cacheDir,
 	}
 
-	g := &gocci{inPlace: *inPlace, quiet: *quiet, ruleMatches: map[string]int{}}
+	g := &gocci{inPlace: *inPlace, quiet: *quiet, ruleMatches: make([]map[string]int, len(patches))}
+	for i := range g.ruleMatches {
+		g.ruleMatches[i] = map[string]int{}
+	}
 	start := time.Now()
-	if *recurse {
-		g.runBatch(patch, opts, args)
-	} else {
-		g.runSingle(patch, opts, args)
+	switch {
+	case *recurse && len(patches) > 1:
+		g.runCampaign(patches, opts, args)
+	case *recurse:
+		g.runBatch(patches[0], opts, args)
+	default:
+		g.runSingle(patches, opts, args)
 	}
 	elapsed := time.Since(start)
 
 	if *quiet {
-		for _, r := range patch.Rules() {
-			fmt.Printf("rule %-20s matches=%d\n", r, g.ruleMatches[r])
+		// Counts are per patch: two patches may both name a rule `fix`,
+		// and each line reports only its own patch's matches.
+		for i, p := range patches {
+			for _, r := range p.Rules() {
+				if len(patches) > 1 {
+					fmt.Printf("%s: rule %-20s matches=%d\n", patchFiles[i], r, g.ruleMatches[i][r])
+				} else {
+					fmt.Printf("rule %-20s matches=%d\n", r, g.ruleMatches[i][r])
+				}
+			}
 		}
 	}
 	if *stats {
-		if *recurse {
-			fmt.Fprintf(os.Stderr, "gocci: %d files scanned, %d skipped by prefilter, %d matched (%d matches), %d changed, %d errors in %v\n",
-				g.st.Files, g.st.Skipped, g.st.Matched, g.st.Matches, g.st.Changed, g.st.Errors, elapsed.Round(time.Millisecond))
-		} else {
+		switch {
+		case *recurse && len(patches) > 1:
+			fmt.Fprintf(os.Stderr, "gocci: %d files scanned, %d changed, %d errors in %v\n",
+				g.cst.Files, g.cst.Changed, g.cst.Errors, elapsed.Round(time.Millisecond))
+			for _, ps := range g.cst.PerPatch {
+				fmt.Fprintf(os.Stderr, "gocci:   patch %s: %d skipped by prefilter, %d cached, %d matched (%d matches), %d changed\n",
+					ps.Patch, ps.Skipped, ps.Cached, ps.Matched, ps.Matches, ps.Changed)
+			}
+		case *recurse:
+			fmt.Fprintf(os.Stderr, "gocci: %d files scanned, %d skipped by prefilter, %d cached, %d matched (%d matches), %d changed, %d errors in %v\n",
+				g.st.Files, g.st.Skipped, g.st.Cached, g.st.Matched, g.st.Matches, g.st.Changed, g.st.Errors, elapsed.Round(time.Millisecond))
+		default:
 			// One engine run over all files: matches are not attributed
 			// per file, so no per-file "matched" count is reported.
 			fmt.Fprintf(os.Stderr, "gocci: %d files scanned, %d matches, %d changed in %v\n",
 				g.st.Files, g.st.Matches, g.st.Changed, elapsed.Round(time.Millisecond))
 		}
 	}
-	if g.st.Changed == 0 {
+	g.reportCache()
+	changed := g.st.Changed + g.cst.Changed
+	if changed == 0 {
 		fmt.Fprintln(os.Stderr, "no changes")
 	}
 	if g.hadError {
@@ -115,13 +157,32 @@ func main() {
 	}
 }
 
-// gocci accumulates run state shared by both modes.
+// gocci accumulates run state shared by all modes.
 type gocci struct {
 	inPlace     bool
 	quiet       bool
 	st          sempatch.BatchStats
-	ruleMatches map[string]int
+	cst         sempatch.CampaignStats
+	cacheStatus sempatch.CacheStatus
+	ruleMatches []map[string]int // per patch: rule name -> match count
 	hadError    bool
+}
+
+// reportCache surfaces persistent-cache trouble: a rebuilt incompatible
+// cache and dropped corrupt entries are warnings (the results are exact
+// either way — entries are re-derived, never trusted), each with the
+// remediation of clearing the directory if the condition repeats.
+func (g *gocci) reportCache() {
+	cs := g.cacheStatus
+	if !cs.Enabled {
+		return
+	}
+	if cs.Rebuilt != "" {
+		fmt.Fprintf(os.Stderr, "gocci: warning: cache at %s was incompatible (%s); it was dropped and rebuilt\n", cs.Dir, cs.Rebuilt)
+	}
+	if cs.CorruptEntries > 0 {
+		fmt.Fprintf(os.Stderr, "gocci: warning: %d corrupt cache entries at %s were dropped and rebuilt, never trusted; if this repeats, delete the directory to reset the cache\n", cs.CorruptEntries, cs.Dir)
+	}
 }
 
 // emit handles one per-file outcome: report errors, write or print changes.
@@ -191,51 +252,115 @@ func writeInPlace(path, content string) error {
 	return os.Rename(tmp.Name(), path)
 }
 
-// runBatch applies the patch per-file across directory trees with the
+// runBatch applies one patch per-file across directory trees with the
 // worker pool; file contents are read lazily inside the pool.
 func (g *gocci) runBatch(patch *sempatch.Patch, opts sempatch.Options, dirs []string) {
 	paths, err := collectSources(dirs)
 	if err != nil {
 		fatal(err)
 	}
-	st, err := sempatch.NewBatchApplier(patch, opts).ApplyAllPathsFunc(paths, func(fr sempatch.FileResult) error {
+	ba := sempatch.NewBatchApplier(patch, opts)
+	st, err := ba.ApplyAllPathsFunc(paths, func(fr sempatch.FileResult) error {
 		for rule, n := range fr.MatchCount {
-			g.ruleMatches[rule] += n
+			g.ruleMatches[0][rule] += n
 		}
 		return g.emit(fr)
 	})
+	g.cacheStatus = ba.CacheStatus()
 	if err != nil {
 		fatal(err)
 	}
 	g.st = st
 }
 
-// runSingle processes an explicit file list in one engine run, preserving
-// cross-file metavariable flow between rules (a binding made in file1.c
-// can drive a transformation in file2.c).
-func (g *gocci) runSingle(patch *sempatch.Patch, opts sempatch.Options, paths []string) {
+// runCampaign applies several patches in one sweep across directory trees:
+// each file sees the patches in command order but is parsed at most once.
+func (g *gocci) runCampaign(patches []*sempatch.Patch, opts sempatch.Options, dirs []string) {
+	paths, err := collectSources(dirs)
+	if err != nil {
+		fatal(err)
+	}
+	ca := sempatch.NewCampaign(patches, opts)
+	st, err := ca.ApplyAllPathsFunc(paths, func(fr sempatch.CampaignFileResult) error {
+		out := sempatch.FileResult{Name: fr.Name, Output: fr.Output, Diff: fr.Diff, Err: fr.Err}
+		for i, o := range fr.Patches {
+			for rule, n := range o.MatchCount {
+				g.ruleMatches[i][rule] += n
+			}
+			out.EnvsTruncated = out.EnvsTruncated || o.EnvsTruncated
+		}
+		return g.emit(out)
+	})
+	g.cacheStatus = ca.CacheStatus()
+	if err != nil {
+		fatal(err)
+	}
+	g.cst = st
+}
+
+// runSingle processes an explicit file list in one engine run per patch,
+// preserving cross-file metavariable flow between rules (a binding made in
+// file1.c can drive a transformation in file2.c). With several patches,
+// each runs over the previous one's outputs and the printed diff is the
+// net effect.
+func (g *gocci) runSingle(patches []*sempatch.Patch, opts sempatch.Options, paths []string) {
 	var files []sempatch.File
+	orig := map[string]string{}
 	for _, path := range paths {
 		b, err := os.ReadFile(path)
 		if err != nil {
 			fatal(err)
 		}
 		files = append(files, sempatch.File{Name: path, Src: string(b)})
+		orig[path] = string(b)
 	}
-	res, err := sempatch.NewApplier(patch, opts).Apply(files...)
-	if err != nil {
-		fatal(err)
+	// Like campaign mode, a -D name must be declared virtual by at least
+	// one patch, and each patch only sees the names it declares — a
+	// campaign-wide define set may mix names for different patches.
+	declared := map[string]bool{}
+	for _, p := range patches {
+		for _, v := range p.Virtuals() {
+			declared[v] = true
+		}
 	}
-	if res.EnvsTruncated {
-		fmt.Fprintln(os.Stderr, "gocci: warning: environment cap (MaxEnvs) hit, matches dropped; results may be incomplete")
+	for _, d := range opts.Defines {
+		if !declared[d] {
+			fatal(fmt.Errorf("define %q is not declared virtual in any patch", d))
+		}
 	}
-	g.ruleMatches = res.MatchCount
-	g.st.Files = len(files)
-	for _, n := range res.MatchCount {
-		g.st.Matches += n
-	}
+	outputs := map[string]string{}
+	diffs := map[string]string{}
 	for _, f := range files {
-		fr := sempatch.FileResult{Name: f.Name, Output: res.Outputs[f.Name], Diff: res.Diffs[f.Name]}
+		outputs[f.Name], diffs[f.Name] = f.Src, ""
+	}
+	for pi, patch := range patches {
+		popts := opts
+		popts.Defines = intersectDefines(opts.Defines, patch.Virtuals())
+		res, err := sempatch.NewApplier(patch, popts).Apply(files...)
+		if err != nil {
+			fatal(err)
+		}
+		if res.EnvsTruncated {
+			fmt.Fprintln(os.Stderr, "gocci: warning: environment cap (MaxEnvs) hit, matches dropped; results may be incomplete")
+		}
+		for rule, n := range res.MatchCount {
+			g.ruleMatches[pi][rule] += n
+			g.st.Matches += n
+		}
+		for i, f := range files {
+			outputs[f.Name] = res.Outputs[f.Name]
+			diffs[f.Name] = res.Diffs[f.Name]
+			files[i].Src = res.Outputs[f.Name]
+		}
+	}
+	g.st.Files = len(files)
+	for _, path := range paths {
+		fr := sempatch.FileResult{Name: path, Output: outputs[path]}
+		if len(patches) == 1 {
+			fr.Diff = diffs[path]
+		} else if outputs[path] != orig[path] {
+			fr.Diff = sempatch.Diff(path, orig[path], outputs[path])
+		}
 		if fr.Changed() {
 			g.st.Changed++
 		}
@@ -290,6 +415,21 @@ func collectSources(dirs []string) ([]string, error) {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "gocci:", err)
 	os.Exit(1)
+}
+
+// intersectDefines keeps the defines a patch declares virtual.
+func intersectDefines(defines, virtuals []string) []string {
+	decl := map[string]bool{}
+	for _, v := range virtuals {
+		decl[v] = true
+	}
+	var out []string
+	for _, d := range defines {
+		if decl[d] {
+			out = append(out, d)
+		}
+	}
+	return out
 }
 
 // defineList collects repeatable -D flags.

@@ -3,17 +3,31 @@ package sempatch
 // Docs-check: every fenced `cocci` snippet in the documentation must parse,
 // every `c`/`cpp`/`cuda` snippet must parse in the corresponding dialect,
 // and every cocci snippet immediately followed by a code snippet is applied
-// to it and must match at least once. Documentation that drifts from the
-// implementation fails the build.
+// to it and must match at least once. Every fenced block must carry a
+// language tag, and every relative link between the documentation files
+// must resolve. Documentation that drifts from the implementation fails
+// the build.
 
 import (
 	"bufio"
 	"os"
+	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
 	"repro/internal/cparse"
 )
+
+// docFiles is the complete documentation set under test; TestDocsComplete
+// fails when a file appears in docs/ without being listed here.
+var docFiles = []string{
+	"README.md",
+	"docs/smpl.md",
+	"docs/batch.md",
+	"docs/cli.md",
+	"docs/architecture.md",
+}
 
 type snippet struct {
 	lang string
@@ -49,6 +63,9 @@ func extractSnippets(t *testing.T, path string) []snippet {
 			continue
 		}
 		cur = &snippet{lang: strings.TrimSpace(strings.TrimPrefix(text, "```")), line: line}
+		if cur.lang == "" {
+			t.Errorf("%s:%d: fenced block without a language tag (use ```text for plain blocks)", path, line)
+		}
 	}
 	if err := sc.Err(); err != nil {
 		t.Fatal(err)
@@ -73,8 +90,56 @@ func dialect(lang string) (Options, cparse.Options, bool) {
 	return Options{}, cparse.Options{}, false
 }
 
+// TestDocsComplete pins docFiles to the actual documentation set, so a new
+// docs/*.md file cannot ship without entering the snippet and link checks.
+func TestDocsComplete(t *testing.T) {
+	entries, err := os.ReadDir("docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	listed := map[string]bool{}
+	for _, d := range docFiles {
+		listed[d] = true
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".md") && !listed["docs/"+e.Name()] {
+			t.Errorf("docs/%s exists but is not in docFiles — add it so its snippets and links are checked", e.Name())
+		}
+	}
+}
+
+// mdLink matches inline markdown links; images and autolinks are out of
+// scope (the docs use neither).
+var mdLink = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// TestDocsLinks verifies every relative cross-file link in the docs
+// resolves to an existing file (anchors are stripped; external URLs are
+// skipped — CI has no business depending on the network).
+func TestDocsLinks(t *testing.T) {
+	for _, doc := range docFiles {
+		b, err := os.ReadFile(doc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLink.FindAllStringSubmatch(string(b), -1) {
+			target := m[1]
+			if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			target, _, _ = strings.Cut(target, "#")
+			if target == "" {
+				continue // pure in-page anchor
+			}
+			resolved := filepath.Join(filepath.Dir(doc), target)
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken relative link %q (resolved %s): %v", doc, m[1], resolved, err)
+			}
+		}
+	}
+}
+
 func TestDocsSnippets(t *testing.T) {
-	for _, doc := range []string{"README.md", "docs/smpl.md", "docs/batch.md"} {
+	for _, doc := range docFiles {
 		t.Run(doc, func(t *testing.T) {
 			snips := extractSnippets(t, doc)
 			if len(snips) == 0 {

@@ -2,6 +2,7 @@ package sempatch_test
 
 import (
 	"fmt"
+	"os"
 
 	sempatch "repro"
 )
@@ -65,6 +66,89 @@ expression list el;
 	// a.c changed=true
 	// b.c changed=false
 	// c.c changed=true
+}
+
+// ExampleCampaign applies an ordered collection of patches in one sweep:
+// each file sees the patches in order (the second fires on the first's
+// output), but is parsed at most once.
+func ExampleCampaign() {
+	rename, err := sempatch.ParsePatch("rename.cocci", `@@
+expression list el;
+@@
+- old_api(el)
++ new_api(el)
+`)
+	if err != nil {
+		panic(err)
+	}
+	harden, err := sempatch.ParsePatch("harden.cocci", `@@
+expression list el;
+@@
+- new_api(el)
++ checked_api(el)
+`)
+	if err != nil {
+		panic(err)
+	}
+	files := []sempatch.File{
+		{Name: "a.c", Src: "void a(void)\n{\n\told_api(1);\n}\n"},
+		{Name: "b.c", Src: "void b(void)\n{\n\tfine();\n}\n"},
+	}
+	ca := sempatch.NewCampaign([]*sempatch.Patch{rename, harden}, sempatch.Options{Workers: 4})
+	for fr := range ca.ApplyAll(files) {
+		if fr.Err != nil {
+			panic(fr.Err)
+		}
+		fmt.Printf("%s changed=%v", fr.Name, fr.Changed())
+		for _, o := range fr.Patches {
+			fmt.Printf(" [%s changed=%v skipped=%v]", o.Patch, o.Changed, o.Skipped)
+		}
+		fmt.Println()
+	}
+	// Output:
+	// a.c changed=true [rename.cocci changed=true skipped=false] [harden.cocci changed=true skipped=false]
+	// b.c changed=false [rename.cocci changed=false skipped=true] [harden.cocci changed=false skipped=true]
+}
+
+// ExampleBatchApplier_cache shows the persistent corpus index: the first
+// run populates the cache, the second replays every unchanged file's
+// result without scanning, parsing, or matching it. Outputs are identical
+// either way.
+func ExampleBatchApplier_cache() {
+	patch, err := sempatch.ParsePatch("swap.cocci", `@@
+expression list el;
+@@
+- old_api(el)
++ new_api(el)
+`)
+	if err != nil {
+		panic(err)
+	}
+	files := []sempatch.File{
+		{Name: "a.c", Src: "void a(void)\n{\n\told_api(1);\n}\n"},
+		{Name: "b.c", Src: "void b(void)\n{\n\tfine();\n}\n"},
+		{Name: "c.c", Src: "void c(void)\n{\n\told_api(2);\n}\n"},
+	}
+	dir, err := os.MkdirTemp("", "gocci-cache-example")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	opts := sempatch.Options{CacheDir: dir}
+
+	cold, err := sempatch.NewBatchApplier(patch, opts).ApplyAllFunc(files, nil)
+	if err != nil {
+		panic(err)
+	}
+	warm, err := sempatch.NewBatchApplier(patch, opts).ApplyAllFunc(files, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cold: changed=%d cached=%d\n", cold.Changed, cold.Cached)
+	fmt.Printf("warm: changed=%d cached=%d\n", warm.Changed, warm.Cached)
+	// Output:
+	// cold: changed=2 cached=0
+	// warm: changed=2 cached=3
 }
 
 // ExampleBatchApplier_applyAllFunc shows the callback form with aggregate

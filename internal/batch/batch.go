@@ -17,11 +17,15 @@
 package batch
 
 import (
+	"fmt"
 	"os"
 	"runtime"
-	"sync"
+	"sort"
+	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/diff"
 	"repro/internal/index"
 	"repro/internal/smpl"
 )
@@ -43,6 +47,31 @@ type Options struct {
 	// way; disabling it restores per-file parse-error reporting for files
 	// the patch provably cannot touch.
 	NoPrefilter bool
+	// CacheDir, when non-empty, enables the persistent corpus index
+	// (internal/cache) rooted at that directory: file scans and per-file
+	// results are cached by content hash, so re-running over an unchanged
+	// corpus skips scanning, parsing, and matching. Outputs are identical
+	// with the cache cold, warm, or disabled; invalidation is automatic
+	// (editing a file, the patch, or result-affecting options changes the
+	// key). An unusable directory is reported once per run, like any other
+	// configuration error.
+	CacheDir string
+}
+
+// fingerprint canonicalizes every result-affecting engine option into the
+// result-cache key, so a cached outcome is only ever replayed under the
+// exact configuration that produced it. NoPrefilter and Workers/Window are
+// excluded: they cannot change outputs.
+func fingerprint(o core.Options) string {
+	maxEnvs := o.MaxEnvs
+	if maxEnvs == 0 {
+		maxEnvs = 4096 // the engine's default; 0 and 4096 are the same run
+	}
+	defines := append([]string(nil), o.Defines...)
+	sort.Strings(defines)
+	return fmt.Sprintf("cpp=%v,std=%d,cuda=%v,ctl=%v,maxenvs=%d,maxmatch=%d,D=%s",
+		o.CPlusPlus, o.Std, o.CUDA, o.UseCTL, maxEnvs, o.MaxMatchesPerRule,
+		strings.Join(defines, ";"))
 }
 
 // FileResult is the outcome for one input file.
@@ -64,6 +93,12 @@ type FileResult struct {
 	// file, so it was never parsed; Output equals the input and Diff is
 	// empty, exactly as a full run would have produced.
 	Skipped bool
+	// Cached reports that the whole result was replayed from the persistent
+	// result cache — the file was neither scanned nor parsed nor matched
+	// this run. Cached and Skipped are mutually exclusive: a cache hit is
+	// reported as cached even when the cached outcome was originally a
+	// prefilter skip.
+	Cached bool
 	// EnvsTruncated reports that this file's run hit the MaxEnvs cap and
 	// dropped matches (see core.Result.EnvsTruncated).
 	EnvsTruncated bool
@@ -92,6 +127,7 @@ type Stats struct {
 	Errors  int // files that failed (parse or script error)
 	Matches int // total rule matches across all files
 	Skipped int // files the prefilter rejected without parsing
+	Cached  int // files replayed from the persistent result cache
 }
 
 // Runner applies one compiled patch across file sets.
@@ -103,6 +139,10 @@ type Runner struct {
 	// workers consult it on raw file bytes before parsing, and skip files
 	// no rule could possibly fire on.
 	filter *index.Filter
+	// cache is the persistent corpus index (nil when disabled) and
+	// resultKey this patch+options pair's result-cache key.
+	cache     *cache.Cache
+	resultKey string
 	// cfgErr is a patch/options mismatch caught at construction; it is
 	// reported once per run instead of once per file.
 	cfgErr error
@@ -120,15 +160,40 @@ func New(patch *smpl.Patch, opts Options) *Runner {
 	if !opts.NoPrefilter {
 		r.filter = r.compiled.Prefilter.ForDefines(opts.Engine.Defines)
 	}
+	if opts.CacheDir != "" {
+		c, err := cache.Open(opts.CacheDir)
+		if err != nil && r.cfgErr == nil {
+			r.cfgErr = err
+		}
+		r.cache = c
+		r.resultKey = cache.ResultKey(patch.Src, fingerprint(opts.Engine))
+	}
 	return r
 }
+
+// Cache returns the open persistent cache, or nil when caching is disabled
+// (or its directory was unusable). Callers use it to surface rebuild and
+// corruption reports.
+func (r *Runner) Cache() *cache.Cache { return r.cache }
 
 // RegisterScript installs a native Go handler for the named script rule on
 // every worker engine. Must be called before Run; the handler may be called
 // from multiple goroutines and must be safe for that.
+//
+// Registering any Go handler disables the persistent result cache for this
+// Runner: a native function's behaviour is not captured by the patch text
+// the cache keys on, so replaying results across handler versions would be
+// unsound. (Script rules written in the patch itself cache fine — their
+// code is part of the patch hash.) The scan cache stays active.
 func (r *Runner) RegisterScript(rule string, fn core.ScriptFunc) *Runner {
 	r.scripts[rule] = fn
 	return r
+}
+
+// resultCacheable reports whether per-file results may be persisted and
+// replayed for this runner.
+func (r *Runner) resultCacheable() bool {
+	return r.cache != nil && len(r.scripts) == 0
 }
 
 // workers resolves the effective pool size for n files.
@@ -178,108 +243,104 @@ func (r *Runner) run(n int, get func(int) (core.SourceFile, error), yield func(F
 	if window <= 0 {
 		window = 2 * workers
 	}
-
-	jobs := make(chan int)
-	results := make(chan FileResult, workers)
-	stop := make(chan struct{})
-
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			eng := core.NewCompiled(r.compiled, r.opts.Engine)
-			for rule, fn := range r.scripts {
-				eng.RegisterScript(rule, fn)
-			}
-			for {
-				select {
-				case idx, ok := <-jobs:
-					if !ok {
-						return
-					}
-					var fr FileResult
-					if f, err := get(idx); err != nil {
-						fr = FileResult{Index: idx, Name: f.Name, Err: err}
-					} else if r.filter != nil && !r.filter.MayMatch(f.Src) {
-						// Provably unmatchable: synthesize the result a
-						// full run would produce, without parsing. (A
-						// syntactically broken file that cannot match is
-						// skipped too — its parse error goes unreported,
-						// like spatch under a glimpse index; pass
-						// NoPrefilter to surface such errors.)
-						fr = FileResult{
-							Index: idx, Name: f.Name, Output: f.Src,
-							MatchCount: map[string]int{}, Skipped: true,
-						}
-					} else {
-						fr = applyOne(eng, f, idx)
-					}
-					select {
-					case results <- fr:
-					case <-stop:
-						return
-					}
-				case <-stop:
-					return
-				}
-			}
-		}()
-	}
-
-	// The feeder admits a file only when the in-flight window has room; the
-	// consumer returns a slot per delivered result. This bounds undelivered
-	// results (and the reorder buffer below) to the window size even when
-	// one slow file holds up in-order delivery.
-	slots := make(chan struct{}, window)
-	for i := 0; i < window; i++ {
-		slots <- struct{}{}
-	}
-	go func() {
-		defer close(jobs)
-		for i := 0; i < n; i++ {
-			select {
-			case <-slots:
-			case <-stop:
-				return
-			}
-			select {
-			case jobs <- i:
-			case <-stop:
-				return
-			}
+	runPool(n, workers, window, func() func(int) FileResult {
+		eng := core.NewCompiled(r.compiled, r.opts.Engine)
+		for rule, fn := range r.scripts {
+			eng.RegisterScript(rule, fn)
 		}
-	}()
-	go func() {
-		wg.Wait()
-		close(results)
-	}()
+		return func(idx int) FileResult { return r.processOne(eng, get, idx) }
+	}, func(fr FileResult) int { return fr.Index }, yield)
+}
 
-	// Reorder buffer: workers finish in any order, delivery is by Index.
-	pending := map[int]FileResult{}
-	next := 0
-	stopped := false
-	for fr := range results {
-		// After an early stop, keep draining so no worker blocks on send.
-		if stopped {
-			continue
-		}
-		pending[fr.Index] = fr
-		for {
-			out, ok := pending[next]
-			if !ok {
-				break
-			}
-			delete(pending, next)
-			next++
-			if !yield(out) {
-				stopped = true
-				close(stop)
-				break
-			}
-			slots <- struct{}{}
+// processOne produces the result for one file: replayed from the result
+// cache when possible, skipped when the prefilter rules it out, otherwise
+// parsed and patched — and the outcome persisted for the next run.
+func (r *Runner) processOne(eng *core.Engine, get func(int) (core.SourceFile, error), idx int) FileResult {
+	f, err := get(idx)
+	if err != nil {
+		return FileResult{Index: idx, Name: f.Name, Err: err}
+	}
+	fileHash := ""
+	if r.resultCacheable() {
+		fileHash = cache.HashString(f.Src)
+		if rec, ok := r.cache.Result(r.resultKey, fileHash); ok {
+			return replay(idx, f, rec)
 		}
 	}
+	var fr FileResult
+	if r.filter != nil && !r.mayMatch(f.Src, fileHash) {
+		// Provably unmatchable: synthesize the result a full run would
+		// produce, without parsing. (A syntactically broken file that
+		// cannot match is skipped too — its parse error goes unreported,
+		// like spatch under a glimpse index; pass NoPrefilter to surface
+		// such errors.)
+		fr = FileResult{
+			Index: idx, Name: f.Name, Output: f.Src,
+			MatchCount: map[string]int{}, Skipped: true,
+		}
+	} else {
+		fr = applyOne(eng, f, idx)
+	}
+	if fileHash != "" && fr.Err == nil {
+		// Errors are never cached: a parse failure is cheap to rediscover
+		// and the user is likely editing the file to fix it.
+		r.cache.PutResult(r.resultKey, fileHash, record(fr, f.Src))
+	}
+	return fr
+}
+
+// mayMatch consults the prefilter, answering from the persistent scan cache
+// when one is open (and priming it when not): the file's word set is
+// computed at most once per content hash, ever, instead of one byte scan
+// per required atom per run. fileHash is the content hash when the caller
+// already computed it ("" otherwise), so a file is hashed at most once.
+func (r *Runner) mayMatch(src, fileHash string) bool {
+	if r.cache == nil {
+		return r.filter.MayMatch(src)
+	}
+	h := fileHash
+	if h == "" {
+		h = cache.HashString(src)
+	}
+	words, ok := r.cache.Words(h)
+	if !ok {
+		words = index.ScanWords(src)
+		r.cache.PutWords(h, words)
+	}
+	return r.filter.MayMatchWords(words)
+}
+
+// record captures a completed file result for the cache.
+func record(fr FileResult, input string) *cache.Record {
+	rec := &cache.Record{
+		MatchCount:    fr.MatchCount,
+		Skipped:       fr.Skipped,
+		EnvsTruncated: fr.EnvsTruncated,
+	}
+	if fr.Output != input {
+		rec.Changed = true
+		rec.Output = fr.Output
+	}
+	return rec
+}
+
+// replay synthesizes the FileResult a full run would produce from a cached
+// record. The diff is recomputed (it is a pure function of input and
+// output), so replayed results are byte-identical to cold ones.
+func replay(idx int, f core.SourceFile, rec *cache.Record) FileResult {
+	fr := FileResult{
+		Index: idx, Name: f.Name, Output: f.Src,
+		MatchCount: rec.MatchCount, Cached: true,
+		EnvsTruncated: rec.EnvsTruncated,
+	}
+	if fr.MatchCount == nil {
+		fr.MatchCount = map[string]int{}
+	}
+	if rec.Changed {
+		fr.Output = rec.Output
+		fr.Diff = diff.Unified("a/"+f.Name, "b/"+f.Name, f.Src, fr.Output)
+	}
+	return fr
 }
 
 // Collect runs the batch and accumulates aggregate statistics, forwarding
@@ -309,6 +370,9 @@ func (r *Runner) collect(run func(func(FileResult) bool), fn func(FileResult) er
 		default:
 			if fr.Skipped {
 				st.Skipped++
+			}
+			if fr.Cached {
+				st.Cached++
 			}
 			if m := fr.Matches(); m > 0 {
 				st.Matched++

@@ -1,0 +1,424 @@
+// Campaign mode: apply a whole collection of semantic patches across a
+// corpus in one sweep. The HPC maintenance workload the paper targets is
+// rarely one patch — it is a library of coexisting refactorings (insert
+// instrumentation, migrate an API, translate directives) re-run over a
+// slowly-changing tree. Running gocci once per patch parses every file once
+// per patch; a campaign parses each file at most once and evaluates every
+// patch against the shared tree, falling back to a re-parse only when an
+// earlier patch actually changed the file.
+//
+// Semantics are sequential composition per file: patch i+1 sees the file as
+// patch i left it, exactly as if the patches had been applied by separate
+// runs in order. Files remain independent of each other, so the worker
+// pool, ordering, and memory bounds are those of the single-patch Runner.
+
+package batch
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cache"
+	"repro/internal/cast"
+	"repro/internal/core"
+	"repro/internal/cparse"
+	"repro/internal/diff"
+	"repro/internal/index"
+	"repro/internal/smpl"
+)
+
+// campaignPatch is one compiled member of a campaign.
+type campaignPatch struct {
+	patch    *smpl.Patch
+	compiled *core.Compiled
+	filter   *index.Filter
+	// engOpts is the engine configuration with Defines narrowed to the
+	// names this patch declares virtual: a campaign-wide -D set may mix
+	// names for different member patches.
+	engOpts core.Options
+	// key is this (patch, options) pair's result-cache key.
+	key string
+}
+
+// Campaign applies an ordered list of compiled patches across file sets.
+type Campaign struct {
+	patches []*campaignPatch
+	opts    Options
+	scripts map[string]core.ScriptFunc
+	cache   *cache.Cache
+	cfgErr  error
+}
+
+// NewCampaign compiles every patch once and returns a Campaign. Each define
+// in Options.Engine.Defines must be declared `virtual` by at least one
+// member patch; a patch that does not declare a name simply does not see it
+// (running the members as separate per-patch invocations would require
+// per-patch -D sets — the campaign derives them).
+func NewCampaign(patches []*smpl.Patch, opts Options) *Campaign {
+	c := &Campaign{opts: opts, scripts: map[string]core.ScriptFunc{}}
+	if len(patches) == 0 {
+		c.cfgErr = fmt.Errorf("campaign: no patches given")
+		return c
+	}
+	declared := map[string]bool{}
+	for _, p := range patches {
+		for _, v := range p.Virtuals {
+			declared[v] = true
+		}
+	}
+	for _, d := range opts.Engine.Defines {
+		if !declared[d] {
+			c.cfgErr = fmt.Errorf("define %q is not declared virtual in any patch of the campaign", d)
+			return c
+		}
+	}
+	if opts.CacheDir != "" {
+		pc, err := cache.Open(opts.CacheDir)
+		if err != nil {
+			c.cfgErr = err
+			return c
+		}
+		c.cache = pc
+	}
+	for _, p := range patches {
+		cp := &campaignPatch{patch: p, compiled: core.Compile(p), engOpts: opts.Engine}
+		cp.engOpts.Defines = intersectDefines(opts.Engine.Defines, p.Virtuals)
+		if !opts.NoPrefilter {
+			cp.filter = cp.compiled.Prefilter.ForDefines(cp.engOpts.Defines)
+		}
+		if c.cache != nil {
+			cp.key = cache.ResultKey(p.Src, fingerprint(cp.engOpts))
+		}
+		c.patches = append(c.patches, cp)
+	}
+	return c
+}
+
+func intersectDefines(defines, virtuals []string) []string {
+	decl := map[string]bool{}
+	for _, v := range virtuals {
+		decl[v] = true
+	}
+	var out []string
+	for _, d := range defines {
+		if decl[d] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Cache returns the open persistent cache, or nil when caching is disabled.
+func (c *Campaign) Cache() *cache.Cache { return c.cache }
+
+// RegisterScript installs a native Go handler for the named script rule on
+// every worker engine of every member patch whose rules include it. Like
+// Runner.RegisterScript, registering any handler disables the persistent
+// result cache (the handler's behaviour is not part of the patch hash).
+func (c *Campaign) RegisterScript(rule string, fn core.ScriptFunc) *Campaign {
+	c.scripts[rule] = fn
+	return c
+}
+
+func (c *Campaign) resultCacheable() bool {
+	return c.cache != nil && len(c.scripts) == 0
+}
+
+// PatchOutcome is one member patch's effect on one file.
+type PatchOutcome struct {
+	// Patch is the member patch's name (its .cocci path).
+	Patch string
+	// MatchCount counts matches per rule of this patch in this file.
+	MatchCount map[string]int
+	// Changed reports that this patch modified the file (relative to the
+	// text the preceding members left).
+	Changed bool
+	// Skipped reports the prefilter proved this patch cannot fire here.
+	Skipped bool
+	// Cached reports this patch's outcome was replayed from the result
+	// cache without scanning, parsing, or matching.
+	Cached bool
+	// EnvsTruncated reports this patch's run hit the MaxEnvs cap.
+	EnvsTruncated bool
+}
+
+// Matches is the total number of rule matches by this patch in the file.
+func (o PatchOutcome) Matches() int {
+	n := 0
+	for _, c := range o.MatchCount {
+		n += c
+	}
+	return n
+}
+
+// CampaignFileResult is the outcome for one input file across all patches.
+type CampaignFileResult struct {
+	// Index is the file's position in the input; results are delivered in
+	// increasing Index order. A configuration error is delivered once as a
+	// single result with Index -1.
+	Index int
+	// Name is the input file name.
+	Name string
+	// Output is the file after every patch, in order; empty when Err is
+	// set.
+	Output string
+	// Diff is the unified diff from the original input to Output.
+	Diff string
+	// Patches holds one outcome per member patch, in campaign order. On a
+	// per-file error it covers the members up to the failing one.
+	Patches []PatchOutcome
+	// Err is the per-file failure; other files still complete. A parse
+	// failure aborts the file's remaining patches (they could not parse it
+	// either).
+	Err error
+}
+
+// Changed reports whether any patch modified the file.
+func (r CampaignFileResult) Changed() bool { return r.Diff != "" }
+
+// PatchStats aggregates one member patch over a completed run.
+type PatchStats struct {
+	Patch   string // patch name
+	Matched int    // files where at least one of its rules matched
+	Changed int    // files it modified
+	Matches int    // total rule matches
+	Skipped int    // files its prefilter rejected
+	Cached  int    // files replayed from the result cache
+}
+
+// CampaignStats aggregates a completed campaign run.
+type CampaignStats struct {
+	Files    int // files processed
+	Changed  int // files where the final output differs from the input
+	Errors   int // files that failed
+	PerPatch []PatchStats
+}
+
+// workers mirrors Runner.workers.
+func (c *Campaign) workers(n int) int {
+	r := Runner{opts: c.opts}
+	return r.workers(n)
+}
+
+// Run streams per-file campaign results to yield in input order, stopping
+// early if yield returns false; see Runner.Run for the pool contract.
+func (c *Campaign) Run(files []core.SourceFile, yield func(CampaignFileResult) bool) {
+	c.run(len(files), func(i int) (core.SourceFile, error) { return files[i], nil }, yield)
+}
+
+// RunPaths is Run over on-disk files, read lazily inside the pool.
+func (c *Campaign) RunPaths(paths []string, yield func(CampaignFileResult) bool) {
+	c.run(len(paths), func(i int) (core.SourceFile, error) {
+		b, err := os.ReadFile(paths[i])
+		if err != nil {
+			return core.SourceFile{Name: paths[i]}, err
+		}
+		return core.SourceFile{Name: paths[i], Src: string(b)}, nil
+	}, yield)
+}
+
+func (c *Campaign) run(n int, get func(int) (core.SourceFile, error), yield func(CampaignFileResult) bool) {
+	if c.cfgErr != nil {
+		yield(CampaignFileResult{Index: -1, Err: c.cfgErr})
+		return
+	}
+	if n == 0 {
+		return
+	}
+	workers := c.workers(n)
+	window := c.opts.Window
+	if window <= 0 {
+		window = 2 * workers
+	}
+	popts := cparse.Options{
+		CPlusPlus: c.opts.Engine.CPlusPlus, Std: c.opts.Engine.Std, CUDA: c.opts.Engine.CUDA,
+	}
+	runPool(n, workers, window, func() func(int) CampaignFileResult {
+		engines := make([]*core.Engine, len(c.patches))
+		for i, cp := range c.patches {
+			engines[i] = core.NewCompiled(cp.compiled, cp.engOpts)
+			for rule, fn := range c.scripts {
+				engines[i].RegisterScript(rule, fn)
+			}
+		}
+		return func(idx int) CampaignFileResult {
+			f, err := get(idx)
+			if err != nil {
+				return CampaignFileResult{Index: idx, Name: f.Name, Err: err}
+			}
+			return c.processFile(engines, popts, f, idx)
+		}
+	}, func(fr CampaignFileResult) int { return fr.Index }, yield)
+}
+
+// processFile threads one file through every member patch in order. The
+// expensive artifacts — the content hash, the identifier-word set, and the
+// parse tree — are derived from the *current* text at most once each and
+// shared by all members until a member actually changes the text, at which
+// point they are invalidated together.
+func (c *Campaign) processFile(engines []*core.Engine, popts cparse.Options, f core.SourceFile, idx int) CampaignFileResult {
+	cur := f.Src
+	curHash := ""             // content hash of cur ("" = not yet computed)
+	var words map[string]bool // identifier-word set of cur (nil = not yet scanned)
+	var parsed *cast.File     // parse tree of cur (nil = not yet parsed)
+	invalidate := func() { curHash, words, parsed = "", nil, nil }
+
+	fr := CampaignFileResult{Index: idx, Name: f.Name}
+	for i, cp := range c.patches {
+		o := PatchOutcome{Patch: cp.patch.Name}
+		if c.resultCacheable() {
+			if curHash == "" {
+				curHash = cache.HashString(cur)
+			}
+			if rec, ok := c.cache.Result(cp.key, curHash); ok {
+				o.Cached = true
+				// Normalize the JSON omitempty round trip: cold runs always
+				// produce a non-nil map, so replays must too.
+				o.MatchCount = rec.MatchCount
+				if o.MatchCount == nil {
+					o.MatchCount = map[string]int{}
+				}
+				o.EnvsTruncated = rec.EnvsTruncated
+				if rec.Changed {
+					o.Changed = true
+					cur = rec.Output
+					invalidate()
+				}
+				fr.Patches = append(fr.Patches, o)
+				continue
+			}
+		}
+		if cp.filter != nil {
+			if words == nil {
+				words = c.scanWords(cur, &curHash)
+			}
+			if !cp.filter.MayMatchWords(words) {
+				o.Skipped = true
+				o.MatchCount = map[string]int{}
+				c.put(cp, curHash, &cache.Record{Skipped: true})
+				fr.Patches = append(fr.Patches, o)
+				continue
+			}
+		}
+		if parsed == nil {
+			cf, err := cparse.Parse(f.Name, cur, popts)
+			if err != nil {
+				// No later patch could parse the file either; report once.
+				fr.Err = fmt.Errorf("parsing %s: %w", f.Name, err)
+				return fr
+			}
+			parsed = cf
+		}
+		eng := engines[i]
+		eng.Reset()
+		res, err := eng.RunParsed([]core.ParsedFile{{Name: f.Name, Src: cur, File: parsed}})
+		if err != nil {
+			fr.Err = err
+			return fr
+		}
+		out := res.Outputs[f.Name]
+		o.MatchCount = res.MatchCount
+		o.EnvsTruncated = res.EnvsTruncated
+		o.Changed = out != cur
+		rec := &cache.Record{MatchCount: res.MatchCount, EnvsTruncated: res.EnvsTruncated}
+		if o.Changed {
+			rec.Changed = true
+			rec.Output = out
+		}
+		c.put(cp, curHash, rec)
+		if o.Changed {
+			cur = out
+			invalidate()
+		}
+		fr.Patches = append(fr.Patches, o)
+	}
+	fr.Output = cur
+	fr.Diff = diff.Unified("a/"+f.Name, "b/"+f.Name, f.Src, cur)
+	return fr
+}
+
+// scanWords computes (or recalls) the identifier-word set for text, priming
+// the persistent scan cache when one is open. hash is threaded by pointer
+// so a hash computed here is reused by the caller's cache lookups.
+func (c *Campaign) scanWords(text string, hash *string) map[string]bool {
+	if c.cache == nil {
+		return index.ScanWords(text)
+	}
+	if *hash == "" {
+		*hash = cache.HashString(text)
+	}
+	if words, ok := c.cache.Words(*hash); ok {
+		return words
+	}
+	words := index.ScanWords(text)
+	c.cache.PutWords(*hash, words)
+	return words
+}
+
+// put persists one member outcome when result caching is on.
+func (c *Campaign) put(cp *campaignPatch, fileHash string, rec *cache.Record) {
+	if !c.resultCacheable() || fileHash == "" {
+		return
+	}
+	c.cache.PutResult(cp.key, fileHash, rec)
+}
+
+// Collect runs the campaign and accumulates aggregate and per-patch
+// statistics, forwarding each result to fn (which may be nil). A non-nil
+// error from fn stops the run and is returned; per-file errors only count
+// in CampaignStats.Errors.
+func (c *Campaign) Collect(files []core.SourceFile, fn func(CampaignFileResult) error) (CampaignStats, error) {
+	return c.collectC(func(yield func(CampaignFileResult) bool) { c.Run(files, yield) }, fn)
+}
+
+// CollectPaths is Collect over on-disk files (see RunPaths).
+func (c *Campaign) CollectPaths(paths []string, fn func(CampaignFileResult) error) (CampaignStats, error) {
+	return c.collectC(func(yield func(CampaignFileResult) bool) { c.RunPaths(paths, yield) }, fn)
+}
+
+func (c *Campaign) collectC(run func(func(CampaignFileResult) bool), fn func(CampaignFileResult) error) (CampaignStats, error) {
+	st := CampaignStats{PerPatch: make([]PatchStats, len(c.patches))}
+	for i, cp := range c.patches {
+		st.PerPatch[i].Patch = cp.patch.Name
+	}
+	var cbErr error
+	run(func(fr CampaignFileResult) bool {
+		if fr.Index < 0 { // configuration error: abort, don't count files
+			cbErr = fr.Err
+			return false
+		}
+		st.Files++
+		switch {
+		case fr.Err != nil:
+			st.Errors++
+		default:
+			if fr.Changed() {
+				st.Changed++
+			}
+		}
+		for i, o := range fr.Patches {
+			ps := &st.PerPatch[i]
+			if m := o.Matches(); m > 0 {
+				ps.Matched++
+				ps.Matches += m
+			}
+			if o.Changed {
+				ps.Changed++
+			}
+			if o.Skipped {
+				ps.Skipped++
+			}
+			if o.Cached {
+				ps.Cached++
+			}
+		}
+		if fn != nil {
+			if err := fn(fr); err != nil {
+				cbErr = err
+				return false
+			}
+		}
+		return true
+	})
+	return st, cbErr
+}

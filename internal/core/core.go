@@ -142,15 +142,39 @@ func (e *Engine) parseOpts() cparse.Options {
 	return cparse.Options{CPlusPlus: e.opts.CPlusPlus, Std: e.opts.Std, CUDA: e.opts.CUDA}
 }
 
+// ParsedFile pairs a source file with its parse, for callers that manage
+// parsing themselves: the campaign engine parses each file once and shares
+// the tree across every patch's engine, and cached runs skip parsing
+// altogether. The File must have been produced by parsing Src with options
+// matching the engine's dialect.
+type ParsedFile struct {
+	Name string
+	Src  string
+	File *cast.File
+}
+
 // Run applies the patch to the files.
 func (e *Engine) Run(files []SourceFile) (*Result, error) {
-	states := make([]*fileState, 0, len(files))
+	parsed := make([]ParsedFile, 0, len(files))
 	for _, f := range files {
 		cf, err := cparse.Parse(f.Name, f.Src, e.parseOpts())
 		if err != nil {
 			return nil, fmt.Errorf("parsing %s: %w", f.Name, err)
 		}
-		states = append(states, &fileState{name: f.Name, src: f.Src, file: cf, ed: transform.NewEditSet(cf.Toks)})
+		parsed = append(parsed, ParsedFile{Name: f.Name, Src: f.Src, File: cf})
+	}
+	return e.RunParsed(parsed)
+}
+
+// RunParsed is Run over pre-parsed files. The engine never mutates the
+// given trees or their token files — edits accumulate in per-run EditSets
+// and transformed text is re-parsed into fresh trees — so one parse may be
+// shared sequentially across any number of engine runs (and concurrently
+// across engines, since matching only reads it).
+func (e *Engine) RunParsed(files []ParsedFile) (*Result, error) {
+	states := make([]*fileState, 0, len(files))
+	for _, f := range files {
+		states = append(states, &fileState{name: f.Name, src: f.Src, file: f.File, ed: transform.NewEditSet(f.File.Toks)})
 	}
 
 	res := &Result{

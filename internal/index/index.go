@@ -180,15 +180,8 @@ func (ix *Index) ForDefines(defines []string) *Filter {
 // matches, so the caller may skip parsing entirely and report the input
 // unchanged.
 func (f *Filter) MayMatch(src string) bool {
-	// fired accumulates per-name truth in rule order, mirroring how
-	// Engine.Run's Matched map evolves: dependencies see the state the
-	// preceding rules left behind.
-	fired := make(map[string]tri, len(f.base)+len(f.ix.rules))
-	for k, v := range f.base {
-		fired[k] = v
-	}
 	present := make(map[string]tri, 8)
-	has := func(w string) bool {
+	return f.mayMatch(func(w string) bool {
 		if v, ok := present[w]; ok {
 			return v == triYes
 		}
@@ -198,6 +191,28 @@ func (f *Filter) MayMatch(src string) bool {
 		}
 		present[w] = v
 		return v == triYes
+	})
+}
+
+// MayMatchWords is MayMatch over a pre-scanned identifier-word set (see
+// ScanWords), the form the persistent scan cache answers: one scan of the
+// file serves every patch of a campaign, and cached scans serve every
+// future run. The two forms agree exactly, because an atom is a valid
+// identifier and ContainsWord accepts precisely the occurrences ScanWords
+// extracts as maximal words.
+func (f *Filter) MayMatchWords(words map[string]bool) bool {
+	return f.mayMatch(func(w string) bool { return w == "" || words[w] })
+}
+
+// mayMatch walks the rules under three-valued logic with has answering
+// word-presence queries against the file.
+func (f *Filter) mayMatch(has func(string) bool) bool {
+	// fired accumulates per-name truth in rule order, mirroring how
+	// Engine.Run's Matched map evolves: dependencies see the state the
+	// preceding rules left behind.
+	fired := make(map[string]tri, len(f.base)+len(f.ix.rules))
+	for k, v := range f.base {
+		fired[k] = v
 	}
 	inserted := map[string]bool{}
 	insertedUnknown := false

@@ -55,6 +55,43 @@ func TestIdentWords(t *testing.T) {
 	}
 }
 
+// MayMatchWords must agree with MayMatch on every source, since the scan
+// cache substitutes one for the other.
+func TestMayMatchWordsParity(t *testing.T) {
+	patches := []string{
+		"@r@\nexpression list el;\n@@\n- old_api(el)\n+ new_api(el)\n",
+		"@a@\n@@\nsetup();\n\n@b depends on a@\nexpression e;\n@@\n- use(e)\n+ use2(e)\n",
+		"virtual fix;\n@v depends on fix@\n@@\n- bad()\n+ good()\n",
+		"@d@\nexpression e;\n@@\n(\n- alpha(e)\n+ a2(e)\n|\n- beta(e)\n+ b2(e)\n)\n",
+	}
+	sources := []string{
+		"void f(void)\n{\n\told_api(1);\n}\n",
+		"void f(void)\n{\n\tsetup();\n\tuse(2);\n}\n",
+		"void f(void)\n{\n\tuse(2);\n}\n",
+		"void f(void)\n{\n\tbad();\n}\n",
+		"void f(void)\n{\n\tbeta(9);\n}\n",
+		"void f(void)\n{\n\tnothing();\n}\n",
+		"/* old_api in a comment still counts as present */\nvoid g(void) {}\n",
+		"",
+	}
+	for _, pt := range patches {
+		ix := build(t, pt)
+		for _, defines := range [][]string{nil, {"fix"}} {
+			if len(defines) > 0 && !strings.Contains(pt, "virtual fix") {
+				continue
+			}
+			f := ix.ForDefines(defines)
+			for _, src := range sources {
+				bySrc := f.MayMatch(src)
+				bySet := f.MayMatchWords(ScanWords(src))
+				if bySrc != bySet {
+					t.Errorf("patch %q src %q: MayMatch=%v MayMatchWords=%v", pt, src, bySrc, bySet)
+				}
+			}
+		}
+	}
+}
+
 // ruleAtoms exposes extraction results for assertions.
 func ruleAtoms(t *testing.T, patchText string) []string {
 	t.Helper()

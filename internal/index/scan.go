@@ -52,6 +52,22 @@ func ContainsWord(src, w string) bool {
 	}
 }
 
+// ScanWords extracts the set of identifier-like words in src, the answer
+// set for Filter.MayMatchWords: w is in the set exactly when
+// ContainsWord(src, w) holds for an identifier w. One ScanWords pass costs
+// about the same as a handful of ContainsWord scans, and its result can be
+// evaluated against any number of patches' filters — and persisted, keyed
+// by the file's content hash, to serve future runs without touching the
+// file's bytes again.
+func ScanWords(src string) map[string]bool {
+	words := identWords(src)
+	set := make(map[string]bool, len(words))
+	for _, w := range words {
+		set[w] = true
+	}
+	return set
+}
+
 // identWords extracts every maximal identifier-like word from text: a run
 // of identifier bytes starting with a letter or underscore. Runs starting
 // with a digit are numeric literals, not identifiers, and are dropped.

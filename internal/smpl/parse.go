@@ -10,7 +10,7 @@ import (
 
 // ParsePatch parses the text of a .cocci semantic patch file.
 func ParsePatch(name, text string) (*Patch, error) {
-	p := &Patch{Name: name}
+	p := &Patch{Name: name, Src: text}
 	lines := strings.Split(text, "\n")
 	i := 0
 	anon := 0

@@ -15,7 +15,11 @@ import (
 
 // Patch is a parsed semantic patch file.
 type Patch struct {
-	Name  string
+	Name string
+	// Src is the raw patch text the rules were parsed from; the persistent
+	// result cache keys on its content hash, so editing a patch invalidates
+	// every result cached under it.
+	Src   string
 	Rules []*Rule
 	// Virtuals are names declared with `virtual x;` at the top of the
 	// patch: dependency atoms whose truth the caller sets (like spatch -D).

@@ -25,9 +25,19 @@ import (
 	"os"
 
 	"repro/internal/batch"
+	"repro/internal/cache"
 	"repro/internal/core"
+	"repro/internal/diff"
 	"repro/internal/smpl"
 )
+
+// Diff renders the unified diff between two versions of a file with the
+// conventional a/ and b/ name prefixes — the same rendering Result.Diffs
+// and FileResult.Diff carry, for callers composing multiple runs (e.g. a
+// net diff across sequentially applied patches).
+func Diff(name, before, after string) string {
+	return diff.Unified("a/"+name, "b/"+name, before, after)
+}
 
 // Options selects the accepted C/C++ dialect and engine limits.
 type Options struct {
@@ -55,6 +65,15 @@ type Options struct {
 	// filter to surface parse errors in files the patch cannot match, or
 	// to measure its effect. Ignored by the single-threaded Applier.
 	NoPrefilter bool
+	// CacheDir, when non-empty, enables the persistent corpus index rooted
+	// at that directory for BatchApplier and Campaign runs: file scans and
+	// per-file results are cached by content hash, so re-running a patch
+	// over an unchanged corpus skips scanning, parsing, and matching.
+	// Outputs are byte-identical with the cache cold, warm, or disabled;
+	// invalidation is automatic — editing a file, the patch text, or any
+	// result-affecting option changes the key. Ignored by the
+	// single-threaded Applier. See docs/batch.md for the on-disk format.
+	CacheDir string
 }
 
 func (o Options) internal() core.Options {
@@ -65,7 +84,10 @@ func (o Options) internal() core.Options {
 }
 
 func (o Options) batch() batch.Options {
-	return batch.Options{Engine: o.internal(), Workers: o.Workers, NoPrefilter: o.NoPrefilter}
+	return batch.Options{
+		Engine: o.internal(), Workers: o.Workers,
+		NoPrefilter: o.NoPrefilter, CacheDir: o.CacheDir,
+	}
 }
 
 // File is one source file to patch.
@@ -198,6 +220,11 @@ type FileResult struct {
 	// could fire on this file, so it was never parsed; Output equals the
 	// input and Diff is empty, exactly as a full run would have produced.
 	Skipped bool
+	// Cached reports that the whole result — output, diff, match counts —
+	// was replayed from the persistent result cache (Options.CacheDir)
+	// without scanning, parsing, or matching the file this run. Cached and
+	// Skipped are mutually exclusive.
+	Cached bool
 	// EnvsTruncated reports that this file's run hit Options.MaxEnvs and
 	// dropped matches (see Result.EnvsTruncated).
 	EnvsTruncated bool
@@ -216,6 +243,7 @@ type BatchStats struct {
 	Errors  int // files that failed (parse or script error)
 	Matches int // total rule matches across all files
 	Skipped int // files the prefilter rejected without parsing
+	Cached  int // files replayed from the persistent result cache
 }
 
 // BatchApplier applies one patch across many files concurrently with a
@@ -235,10 +263,44 @@ func NewBatchApplier(p *Patch, opts Options) *BatchApplier {
 
 // RegisterScript installs a Go handler for the named script rule on every
 // worker. Call before ApplyAll; the handler runs concurrently and must be
-// safe for that.
+// safe for that. Registering any Go handler disables the persistent result
+// cache for this applier (the handler's behaviour is not captured by the
+// patch hash the cache keys on); the scan cache stays active.
 func (b *BatchApplier) RegisterScript(rule string, fn ScriptFunc) *BatchApplier {
 	b.r.RegisterScript(rule, core.ScriptFunc(fn))
 	return b
+}
+
+// CacheStatus reports the persistent cache's state for an applier or
+// campaign: whether one is open, where, whether Open had to wipe and
+// rebuild an incompatible cache, and how many corrupt entries were dropped
+// (and transparently re-derived) so far. Front ends surface the last two so
+// cache trouble is never silent.
+type CacheStatus struct {
+	// Enabled reports that Options.CacheDir named a usable cache.
+	Enabled bool
+	// Dir is the cache directory.
+	Dir string
+	// Rebuilt explains why an existing cache was wiped and rebuilt at open
+	// ("" when it was not).
+	Rebuilt string
+	// CorruptEntries counts entries that failed validation on read and
+	// were dropped and re-derived. Nonzero means the directory saw outside
+	// interference; results are still exact, only the speedup was lost.
+	CorruptEntries int64
+}
+
+// CacheStatus reports the state of this applier's persistent cache.
+func (b *BatchApplier) CacheStatus() CacheStatus { return cacheStatus(b.r.Cache()) }
+
+func cacheStatus(c *cache.Cache) CacheStatus {
+	if c == nil {
+		return CacheStatus{}
+	}
+	return CacheStatus{
+		Enabled: true, Dir: c.Dir(),
+		Rebuilt: c.Rebuilt(), CorruptEntries: c.CorruptEntries(),
+	}
 }
 
 // ApplyAll streams one FileResult per input file, in input order. Breaking
@@ -289,6 +351,7 @@ func publicResult(fr batch.FileResult) FileResult {
 		Diff:          fr.Diff,
 		MatchCount:    fr.MatchCount,
 		Skipped:       fr.Skipped,
+		Cached:        fr.Cached,
 		EnvsTruncated: fr.EnvsTruncated,
 		Err:           fr.Err,
 	}
@@ -302,7 +365,177 @@ func publicStats(st batch.Stats) BatchStats {
 		Errors:  st.Errors,
 		Matches: st.Matches,
 		Skipped: st.Skipped,
+		Cached:  st.Cached,
 	}
+}
+
+// PatchOutcome is one campaign member's effect on one file.
+type PatchOutcome struct {
+	// Patch is the member patch's name (its .cocci path).
+	Patch string
+	// MatchCount counts matches per rule of this patch in this file.
+	MatchCount map[string]int
+	// Changed reports this patch modified the file (relative to the text
+	// the preceding members left).
+	Changed bool
+	// Skipped reports the prefilter proved this patch cannot fire here.
+	Skipped bool
+	// Cached reports this patch's outcome was replayed from the result
+	// cache.
+	Cached bool
+	// EnvsTruncated reports this patch's run hit Options.MaxEnvs.
+	EnvsTruncated bool
+}
+
+// CampaignFileResult is one file's outcome across every patch of a
+// campaign.
+type CampaignFileResult struct {
+	// Name is the input file name.
+	Name string
+	// Output is the file after every patch, in order; empty when Err is
+	// set.
+	Output string
+	// Diff is the unified diff from the original input to Output.
+	Diff string
+	// Patches holds one outcome per member patch, in campaign order.
+	Patches []PatchOutcome
+	// Err is this file's failure; other files in the sweep still complete.
+	Err error
+}
+
+// Changed reports whether any patch modified the file.
+func (r CampaignFileResult) Changed() bool { return r.Diff != "" }
+
+// PatchStats aggregates one campaign member over a completed run.
+type PatchStats struct {
+	Patch   string // patch name
+	Matched int    // files where at least one of its rules matched
+	Changed int    // files it modified
+	Matches int    // total rule matches
+	Skipped int    // files its prefilter rejected
+	Cached  int    // files replayed from the result cache
+}
+
+// CampaignStats aggregates a completed campaign run.
+type CampaignStats struct {
+	Files    int // files processed
+	Changed  int // files whose final output differs from the input
+	Errors   int // files that failed
+	PerPatch []PatchStats
+}
+
+// Campaign applies an ordered collection of patches across many files in
+// one sweep — the recurring-maintenance workload where a library of
+// refactorings is re-run over a slowly-changing tree. Semantics are
+// sequential composition per file: patch i+1 sees each file as patch i
+// left it, exactly as if the patches had been applied by separate runs in
+// order, but each file is parsed at most once and the tree is shared by
+// every patch until one actually changes the file. Files are independent,
+// so the worker pool, deterministic ordering, and memory bounds of
+// BatchApplier carry over; with Options.CacheDir set, per-patch per-file
+// results replay from the persistent cache. See docs/batch.md.
+type Campaign struct {
+	c *batch.Campaign
+}
+
+// NewCampaign compiles the patches for one-sweep application. Each name in
+// Options.Defines must be declared `virtual` by at least one member patch;
+// members that do not declare it simply do not see it.
+func NewCampaign(patches []*Patch, opts Options) *Campaign {
+	sp := make([]*smpl.Patch, len(patches))
+	for i, p := range patches {
+		sp[i] = p.p
+	}
+	return &Campaign{c: batch.NewCampaign(sp, opts.batch())}
+}
+
+// RegisterScript installs a Go handler for the named script rule on every
+// worker engine of every member patch. Call before ApplyAll; the handler
+// runs concurrently and must be safe for that. Like
+// BatchApplier.RegisterScript, registering any Go handler disables the
+// persistent result cache.
+func (c *Campaign) RegisterScript(rule string, fn ScriptFunc) *Campaign {
+	c.c.RegisterScript(rule, core.ScriptFunc(fn))
+	return c
+}
+
+// CacheStatus reports the state of this campaign's persistent cache.
+func (c *Campaign) CacheStatus() CacheStatus { return cacheStatus(c.c.Cache()) }
+
+// ApplyAll streams one CampaignFileResult per input file, in input order;
+// breaking out of the loop stops the sweep early. A configuration error is
+// delivered once as a single result with an empty Name.
+func (c *Campaign) ApplyAll(files []File) iter.Seq[CampaignFileResult] {
+	return func(yield func(CampaignFileResult) bool) {
+		c.c.Run(toSource(files), func(fr batch.CampaignFileResult) bool {
+			return yield(publicCampaignResult(fr))
+		})
+	}
+}
+
+// ApplyAllPaths is ApplyAll over on-disk files, read lazily inside the
+// worker pool.
+func (c *Campaign) ApplyAllPaths(paths []string) iter.Seq[CampaignFileResult] {
+	return func(yield func(CampaignFileResult) bool) {
+		c.c.RunPaths(paths, func(fr batch.CampaignFileResult) bool {
+			return yield(publicCampaignResult(fr))
+		})
+	}
+}
+
+// ApplyAllFunc is the callback form of ApplyAll with aggregate and
+// per-patch statistics; a non-nil error from fn stops the sweep.
+func (c *Campaign) ApplyAllFunc(files []File, fn func(CampaignFileResult) error) (CampaignStats, error) {
+	st, err := c.c.Collect(toSource(files), wrapCampaignCallback(fn))
+	return publicCampaignStats(st), err
+}
+
+// ApplyAllPathsFunc is the callback form of ApplyAllPaths.
+func (c *Campaign) ApplyAllPathsFunc(paths []string, fn func(CampaignFileResult) error) (CampaignStats, error) {
+	st, err := c.c.CollectPaths(paths, wrapCampaignCallback(fn))
+	return publicCampaignStats(st), err
+}
+
+func publicCampaignResult(fr batch.CampaignFileResult) CampaignFileResult {
+	out := CampaignFileResult{
+		Name:   fr.Name,
+		Output: fr.Output,
+		Diff:   fr.Diff,
+		Err:    fr.Err,
+	}
+	for _, o := range fr.Patches {
+		out.Patches = append(out.Patches, PatchOutcome{
+			Patch:         o.Patch,
+			MatchCount:    o.MatchCount,
+			Changed:       o.Changed,
+			Skipped:       o.Skipped,
+			Cached:        o.Cached,
+			EnvsTruncated: o.EnvsTruncated,
+		})
+	}
+	return out
+}
+
+func publicCampaignStats(st batch.CampaignStats) CampaignStats {
+	out := CampaignStats{Files: st.Files, Changed: st.Changed, Errors: st.Errors}
+	for _, ps := range st.PerPatch {
+		out.PerPatch = append(out.PerPatch, PatchStats{
+			Patch:   ps.Patch,
+			Matched: ps.Matched,
+			Changed: ps.Changed,
+			Matches: ps.Matches,
+			Skipped: ps.Skipped,
+			Cached:  ps.Cached,
+		})
+	}
+	return out
+}
+
+func wrapCampaignCallback(fn func(CampaignFileResult) error) func(batch.CampaignFileResult) error {
+	if fn == nil {
+		return nil
+	}
+	return func(fr batch.CampaignFileResult) error { return fn(publicCampaignResult(fr)) }
 }
 
 func wrapCallback(fn func(FileResult) error) func(batch.FileResult) error {

@@ -1,0 +1,5 @@
+@chain@
+expression list el;
+@@
+- solver_init_v2(el)
++ solver_init_v3(el)

@@ -135,6 +135,100 @@ func TestCampaignParsesOnce(t *testing.T) {
 	}
 }
 
+// TestCampaignFailureDoesNotPoisonCache pins the result cache's error
+// discipline inside a campaign: when a mid-campaign member fails on one
+// file, (1) the members that already succeeded on that file keep sound
+// cache entries, (2) the failure itself is never cached — a warm re-run
+// fails again instead of replaying a bogus success — and (3) the members
+// that never got to run leave no entry at all.
+func TestCampaignFailureDoesNotPoisonCache(t *testing.T) {
+	good, err := ParsePatch("good.cocci", "@g@\nexpression list el;\n@@\n- old_api(el)\n+ new_api(el)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// boom matches trigger_boom(e) and then runs a script whose body is not
+	// executable by the restricted interpreter, so it errors exactly on the
+	// files where the rule matched and succeeds (skips) everywhere else.
+	boom, err := ParsePatch("boom.cocci",
+		"@m@\nexpression e;\n@@\ntrigger_boom(e)\n\n@script:python s@\ne << m.e;\nout;\n@@\ncoccinelle.out = nonsense_call(e);\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tail, err := ParsePatch("tail.cocci", "@t@\nexpression list el;\n@@\n- tail_api(el)\n+ tail_api_v2(el)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files := []File{
+		{Name: "bad.c", Src: "void b(void)\n{\n\told_api(1);\n\ttrigger_boom(2);\n\ttail_api(3);\n}\n"},
+		{Name: "ok.c", Src: "void o(void)\n{\n\told_api(4);\n\ttail_api(5);\n}\n"},
+	}
+	dir := filepath.Join(t.TempDir(), "cache")
+	members := []*Patch{good, boom, tail}
+
+	runCampaign := func() map[string]CampaignFileResult {
+		out := map[string]CampaignFileResult{}
+		_, err := NewCampaign(members, Options{CacheDir: dir}).ApplyAllFunc(files, func(fr CampaignFileResult) error {
+			out[fr.Name] = fr
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+
+	cold := runCampaign()
+	if cold["bad.c"].Err == nil {
+		t.Fatal("the boom member did not fail on bad.c")
+	}
+	if len(cold["bad.c"].Patches) != 1 || !cold["bad.c"].Patches[0].Changed {
+		t.Fatalf("bad.c outcomes before the failure: %+v", cold["bad.c"].Patches)
+	}
+	if cold["ok.c"].Err != nil || !strings.Contains(cold["ok.c"].Output, "tail_api_v2(5)") {
+		t.Fatalf("ok.c must complete the whole campaign: %+v", cold["ok.c"])
+	}
+
+	// (2) A warm re-run hits the same error — the failure was not cached as
+	// a success — while the member that did succeed on bad.c replays.
+	warm := runCampaign()
+	if warm["bad.c"].Err == nil {
+		t.Error("warm re-run replayed a failed member as a success")
+	}
+	if len(warm["bad.c"].Patches) != 1 || !warm["bad.c"].Patches[0].Cached {
+		t.Errorf("good member's sound outcome on bad.c did not replay: %+v", warm["bad.c"].Patches)
+	}
+
+	// (1) The good member's entry for bad.c is byte-correct: a single-patch
+	// batch run over the same cache replays it, matching a cache-disabled
+	// run exactly.
+	applyOne := func(p *Patch, opts Options, f File) FileResult {
+		var out FileResult
+		if _, err := NewBatchApplier(p, opts).ApplyAllFunc([]File{f}, func(fr FileResult) error {
+			out = fr
+			return fr.Err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	cached := applyOne(good, Options{CacheDir: dir}, files[0])
+	plain := applyOne(good, Options{}, files[0])
+	if !cached.Cached {
+		t.Error("good member's entry for bad.c missing from the cache")
+	}
+	if cached.Output != plain.Output || cached.Diff != plain.Diff {
+		t.Error("good member's cached outcome for bad.c diverges from a fresh run")
+	}
+
+	// (3) The tail member never ran on bad.c, so the text it would have
+	// seen (the good member's output) must have no entry: a first run over
+	// it derives, not replays.
+	intermediate := File{Name: "bad.c", Src: plain.Output}
+	if fr := applyOne(tail, Options{CacheDir: dir}, intermediate); fr.Cached {
+		t.Error("tail member has a cache entry for a file it never processed")
+	}
+}
+
 // A campaign whose members transform re-parses only what changed: the
 // changed file is parsed once for the sweep plus once after the rewrite
 // (the engine re-parses edited text before the next member matches it).

@@ -4,6 +4,9 @@ package sempatch
 // and run them on the shipped testdata, exactly as a user would.
 
 import (
+	"bufio"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -469,5 +472,215 @@ func TestCLIUsageErrors(t *testing.T) {
 	err := exec.Command(bin).Run()
 	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 2 {
 		t.Errorf("usage error exit: %v", err)
+	}
+}
+
+// exitCode runs the command and returns its exit code (0 on success).
+func exitCode(t *testing.T, bin string, args ...string) (int, string) {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err == nil {
+		return 0, string(out)
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("%s %v: %v", bin, args, err)
+	}
+	return ee.ExitCode(), string(out)
+}
+
+// TestCLIExitCodes audits the documented contract (docs/cli.md): usage
+// errors exit 2, patch/parse/runtime errors exit 1, and a run that applied
+// changes — or had none to apply — exits 0.
+func TestCLIExitCodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gocci")
+	dir := t.TempDir()
+	okSrc := filepath.Join(dir, "ok.c")
+	if err := os.WriteFile(okSrc, []byte("void f(void)\n{\n\told_solver_init(0, 1);\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	brokenSrc := filepath.Join(dir, "broken.c")
+	// Contains the patch's required atom, so even the prefilter cannot hide
+	// its parse error.
+	if err := os.WriteFile(brokenSrc, []byte("old_solver_init(\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badPatch := filepath.Join(dir, "bad.cocci")
+	if err := os.WriteFile(badPatch, []byte("@r@\nthis is not smpl\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Usage errors: exit 2.
+	for _, args := range [][]string{
+		{},                        // nothing at all
+		{"testdata/rename.cocci"}, // patch but no sources
+		{"--bogus-flag", okSrc},   // unknown flag (flag package convention)
+	} {
+		if code, out := exitCode(t, bin, args...); code != 2 {
+			t.Errorf("gocci %v: exit %d, want 2\n%s", args, code, out)
+		}
+	}
+
+	// Patch and parse errors: exit 1.
+	if code, out := exitCode(t, bin, "--sp-file", filepath.Join(dir, "missing.cocci"), okSrc); code != 1 {
+		t.Errorf("missing patch file: exit %d, want 1\n%s", code, out)
+	}
+	if code, out := exitCode(t, bin, "--sp-file", badPatch, okSrc); code != 1 {
+		t.Errorf("unparsable patch: exit %d, want 1\n%s", code, out)
+	}
+	if code, out := exitCode(t, bin, "--sp-file", "testdata/rename.cocci", brokenSrc); code != 1 {
+		t.Errorf("unparsable source (single mode): exit %d, want 1\n%s", code, out)
+	}
+
+	// A per-file failure in batch mode still processes the other files,
+	// then exits 1 (docs/cli.md).
+	code, out := exitCode(t, bin, "-r", dir, "testdata/rename.cocci")
+	if code != 1 {
+		t.Errorf("batch with one broken file: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "solver_init_v2(0, 1)") {
+		t.Errorf("batch with one broken file must still patch the others:\n%s", out)
+	}
+
+	// Success: exit 0 both when changes were applied and when there were
+	// none to apply.
+	if code, out := exitCode(t, bin, "--sp-file", "testdata/rename.cocci", okSrc); code != 0 {
+		t.Errorf("applied with changes: exit %d, want 0\n%s", code, out)
+	}
+	noMatch := filepath.Join(dir, "nomatch.c")
+	if err := os.WriteFile(noMatch, []byte("void g(void)\n{\n\tidle();\n}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out := exitCode(t, bin, "--sp-file", "testdata/rename.cocci", noMatch); code != 0 {
+		t.Errorf("no changes: exit %d, want 0\n%s", code, out)
+	}
+}
+
+// TestCLIVersionFlag pins the shared --version convention across all six
+// tools: exit 0, "tool version" on stdout, and -h usage output leading
+// with the same version line.
+func TestCLIVersionFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, tool := range []string{"gocci", "gocci-parse", "gocci-gen", "gocci-hipify", "gocci-acc2omp", "gocci-serve"} {
+		bin := buildTool(t, tool)
+		out, err := exec.Command(bin, "--version").Output()
+		if err != nil {
+			t.Errorf("%s --version: %v", tool, err)
+			continue
+		}
+		fields := strings.Fields(string(out))
+		if len(fields) != 2 || fields[0] != tool || fields[1] == "" {
+			t.Errorf("%s --version printed %q, want %q + version", tool, out, tool)
+		}
+		// -h leads with the same "tool version" line (exit 0, flag package
+		// convention for an explicit help request).
+		help, _ := exec.Command(bin, "-h").CombinedOutput()
+		if !strings.HasPrefix(string(help), fields[0]+" "+fields[1]+"\n") {
+			t.Errorf("%s -h does not lead with the version line:\n%s", tool, help)
+		}
+	}
+}
+
+// TestCLIServe drives the daemon end to end exactly as CI does: start it
+// on an ephemeral port, wait for /healthz, apply a snippet, sweep twice,
+// and verify the warm sweep reports cached results and zero parses.
+func TestCLIServe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gocci-serve")
+
+	// Usage and startup failures first: exit 2 and 1 respectively.
+	if code, out := exitCode(t, bin); code != 2 {
+		t.Errorf("no args: exit %d, want 2\n%s", code, out)
+	}
+	if code, out := exitCode(t, bin, "--root", filepath.Join(t.TempDir(), "nope"), "testdata/rename.cocci"); code != 1 {
+		t.Errorf("missing root: exit %d, want 1\n%s", code, out)
+	}
+
+	src, err := os.ReadFile("testdata/setup.c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := t.TempDir()
+	for _, name := range []string{"a.c", "b.c"} {
+		if err := os.WriteFile(filepath.Join(root, name), src, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	cmd := exec.Command(bin, "--addr", "127.0.0.1:0", "--root", root, "--watch", "0", "testdata/rename.cocci")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Signal(os.Interrupt)
+		cmd.Wait()
+	}()
+
+	// The daemon announces its bound address on stderr.
+	var base string
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		if _, addr, ok := strings.Cut(sc.Text(), "on http://"); ok {
+			base = "http://" + addr
+			break
+		}
+	}
+	if base == "" {
+		t.Fatal("daemon never announced its address")
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %d %s", path, resp.StatusCode, b)
+		}
+		return string(b)
+	}
+	post := func(path, body string) string {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != 200 {
+			t.Fatalf("POST %s: %d %s", path, resp.StatusCode, b)
+		}
+		return string(b)
+	}
+
+	if h := get("/healthz"); !strings.Contains(h, `"status":"ok"`) {
+		t.Fatalf("healthz: %s", h)
+	}
+	apply := post("/v1/apply", `{"session":"default","file":"a.c"}`)
+	if !strings.Contains(apply, "solver_init_v2") {
+		t.Errorf("apply response missing the rewrite: %s", apply)
+	}
+	post("/v1/sessions/default/run", "")
+	warm := post("/v1/sessions/default/run", "")
+	if !strings.Contains(warm, `"parsed":0`) {
+		t.Errorf("warm sweep re-parsed unchanged files: %s", warm)
+	}
+	if strings.Contains(warm, `"cached":0,`) {
+		t.Errorf("warm sweep reported nothing cached: %s", warm)
+	}
+	if m := get("/metrics"); !strings.Contains(m, "gocci_serve_sessions 1") {
+		t.Errorf("metrics: %s", m)
 	}
 }

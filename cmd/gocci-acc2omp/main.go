@@ -14,15 +14,18 @@ import (
 	"os"
 
 	"repro/internal/accomp"
+	"repro/internal/buildinfo"
 	"repro/internal/diff"
 	"repro/internal/patchlib"
 )
 
 func main() {
+	showVersion := buildinfo.Setup("gocci-acc2omp")
 	lineMode := flag.Bool("line", false, "line-oriented rewriting instead of the semantic patch engine")
 	offload := flag.Bool("offload", false, "target OpenMP device offloading instead of host threading")
 	inPlace := flag.Bool("in-place", false, "rewrite files instead of printing diffs")
 	flag.Parse()
+	buildinfo.HandleVersion("gocci-acc2omp", showVersion)
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: gocci-acc2omp [--line] [--offload] [--in-place] file.c ...")

@@ -14,10 +14,12 @@ import (
 	"os"
 	"sort"
 
+	"repro/internal/buildinfo"
 	"repro/internal/codegen"
 )
 
 func main() {
+	showVersion := buildinfo.Setup("gocci-gen")
 	shape := flag.String("shape", "mixed", "workload shape (see --list)")
 	funcs := flag.Int("funcs", 8, "number of functions")
 	stmts := flag.Int("stmts", 4, "statements per function")
@@ -25,6 +27,7 @@ func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	list := flag.Bool("list", false, "list available shapes")
 	flag.Parse()
+	buildinfo.HandleVersion("gocci-gen", showVersion)
 
 	if *list {
 		names := make([]string, 0, len(codegen.Shapes))

@@ -13,15 +13,18 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/diff"
 	"repro/internal/hipify"
 )
 
 func main() {
+	showVersion := buildinfo.Setup("gocci-hipify")
 	text := flag.Bool("text", false, "use the text-level (hipify-perl style) baseline")
 	inPlace := flag.Bool("in-place", false, "rewrite files instead of printing diffs")
 	stats := flag.Bool("stats", false, "print translation statistics")
 	flag.Parse()
+	buildinfo.HandleVersion("gocci-hipify", showVersion)
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: gocci-hipify [--text] [--in-place] file.cu ...")

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/buildinfo"
 	"repro/internal/cast"
 	"repro/internal/cfg"
 	"repro/internal/cparse"
@@ -20,10 +21,12 @@ import (
 )
 
 func main() {
+	showVersion := buildinfo.Setup("gocci-parse")
 	dump := flag.String("dump", "ast", "what to print: ast, cfg, tokens, stats")
 	cxx := flag.Int("cxx", 0, "C++ standard (0 = C)")
 	cuda := flag.Bool("cuda", false, "enable CUDA kernel-launch tokens")
 	flag.Parse()
+	buildinfo.HandleVersion("gocci-parse", showVersion)
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: gocci-parse --dump ast|cfg|tokens|stats file.c ...")

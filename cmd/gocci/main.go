@@ -33,6 +33,7 @@ import (
 	"time"
 
 	sempatch "repro"
+	"repro/internal/buildinfo"
 )
 
 // srcExts are the file suffixes collected in recursive mode.
@@ -44,6 +45,7 @@ var srcExts = map[string]bool{
 }
 
 func main() {
+	showVersion := buildinfo.Setup("gocci")
 	spFile := flag.String("sp-file", "", "semantic patch file (.cocci); may also be given as a positional argument")
 	cxx := flag.Int("cxx", 0, "enable C++ mode with the given standard (11, 17, 23); 0 = C")
 	cuda := flag.Bool("cuda", false, "enable CUDA <<< >>> kernel launches")
@@ -58,6 +60,7 @@ func main() {
 	var defines defineList
 	flag.Var(&defines, "D", "define a virtual dependency name (repeatable)")
 	flag.Parse()
+	buildinfo.HandleVersion("gocci", showVersion)
 
 	args := flag.Args()
 	// Positional patches: every argument ending in .cocci, in command

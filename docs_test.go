@@ -27,6 +27,7 @@ var docFiles = []string{
 	"docs/batch.md",
 	"docs/cli.md",
 	"docs/architecture.md",
+	"docs/serve.md",
 }
 
 type snippet struct {

@@ -56,6 +56,12 @@ type Options struct {
 	// key). An unusable directory is reported once per run, like any other
 	// configuration error.
 	CacheDir string
+	// Store, when non-nil, is the cache the run reads and writes through —
+	// typically a cache.Memory layered over a disk cache, owned by a
+	// resident server (internal/serve). It takes precedence over CacheDir.
+	// The Cache() status surface only covers caches opened from CacheDir; a
+	// caller supplying its own Store reports its own status.
+	Store cache.Store
 }
 
 // fingerprint canonicalizes every result-affecting engine option into the
@@ -139,9 +145,12 @@ type Runner struct {
 	// workers consult it on raw file bytes before parsing, and skip files
 	// no rule could possibly fire on.
 	filter *index.Filter
-	// cache is the persistent corpus index (nil when disabled) and
+	// store is the cache the run reads and writes through (nil when
+	// disabled), disk the *cache.Cache opened from Options.CacheDir for
+	// status reporting (nil when the caller supplied Options.Store), and
 	// resultKey this patch+options pair's result-cache key.
-	cache     *cache.Cache
+	store     cache.Store
+	disk      *cache.Cache
 	resultKey string
 	// cfgErr is a patch/options mismatch caught at construction; it is
 	// reported once per run instead of once per file.
@@ -160,21 +169,30 @@ func New(patch *smpl.Patch, opts Options) *Runner {
 	if !opts.NoPrefilter {
 		r.filter = r.compiled.Prefilter.ForDefines(opts.Engine.Defines)
 	}
-	if opts.CacheDir != "" {
+	switch {
+	case opts.Store != nil:
+		r.store = opts.Store
+	case opts.CacheDir != "":
 		c, err := cache.Open(opts.CacheDir)
 		if err != nil && r.cfgErr == nil {
 			r.cfgErr = err
 		}
-		r.cache = c
+		if c != nil {
+			// A typed nil must not become a non-nil Store interface.
+			r.disk, r.store = c, c
+		}
+	}
+	if r.store != nil {
 		r.resultKey = cache.ResultKey(patch.Src, fingerprint(opts.Engine))
 	}
 	return r
 }
 
-// Cache returns the open persistent cache, or nil when caching is disabled
-// (or its directory was unusable). Callers use it to surface rebuild and
+// Cache returns the disk cache opened from Options.CacheDir, or nil when
+// caching is disabled, its directory was unusable, or the store was
+// supplied via Options.Store. Callers use it to surface rebuild and
 // corruption reports.
-func (r *Runner) Cache() *cache.Cache { return r.cache }
+func (r *Runner) Cache() *cache.Cache { return r.disk }
 
 // RegisterScript installs a native Go handler for the named script rule on
 // every worker engine. Must be called before Run; the handler may be called
@@ -193,7 +211,7 @@ func (r *Runner) RegisterScript(rule string, fn core.ScriptFunc) *Runner {
 // resultCacheable reports whether per-file results may be persisted and
 // replayed for this runner.
 func (r *Runner) resultCacheable() bool {
-	return r.cache != nil && len(r.scripts) == 0
+	return r.store != nil && len(r.scripts) == 0
 }
 
 // workers resolves the effective pool size for n files.
@@ -263,7 +281,7 @@ func (r *Runner) processOne(eng *core.Engine, get func(int) (core.SourceFile, er
 	fileHash := ""
 	if r.resultCacheable() {
 		fileHash = cache.HashString(f.Src)
-		if rec, ok := r.cache.Result(r.resultKey, fileHash); ok {
+		if rec, ok := r.store.Result(r.resultKey, fileHash); ok {
 			return replay(idx, f, rec)
 		}
 	}
@@ -284,7 +302,7 @@ func (r *Runner) processOne(eng *core.Engine, get func(int) (core.SourceFile, er
 	if fileHash != "" && fr.Err == nil {
 		// Errors are never cached: a parse failure is cheap to rediscover
 		// and the user is likely editing the file to fix it.
-		r.cache.PutResult(r.resultKey, fileHash, record(fr, f.Src))
+		r.store.PutResult(r.resultKey, fileHash, record(fr, f.Src))
 	}
 	return fr
 }
@@ -295,17 +313,17 @@ func (r *Runner) processOne(eng *core.Engine, get func(int) (core.SourceFile, er
 // per required atom per run. fileHash is the content hash when the caller
 // already computed it ("" otherwise), so a file is hashed at most once.
 func (r *Runner) mayMatch(src, fileHash string) bool {
-	if r.cache == nil {
+	if r.store == nil {
 		return r.filter.MayMatch(src)
 	}
 	h := fileHash
 	if h == "" {
 		h = cache.HashString(src)
 	}
-	words, ok := r.cache.Words(h)
+	words, ok := r.store.Words(h)
 	if !ok {
 		words = index.ScanWords(src)
-		r.cache.PutWords(h, words)
+		r.store.PutWords(h, words)
 	}
 	return r.filter.MayMatchWords(words)
 }

@@ -19,10 +19,8 @@ import (
 	"os"
 
 	"repro/internal/cache"
-	"repro/internal/cast"
 	"repro/internal/core"
 	"repro/internal/cparse"
-	"repro/internal/diff"
 	"repro/internal/index"
 	"repro/internal/smpl"
 )
@@ -45,8 +43,13 @@ type Campaign struct {
 	patches []*campaignPatch
 	opts    Options
 	scripts map[string]core.ScriptFunc
-	cache   *cache.Cache
-	cfgErr  error
+	// store is the cache the run reads and writes through (nil when caching
+	// is disabled); disk is the *cache.Cache opened from Options.CacheDir,
+	// kept separately for status reporting (nil when the store was supplied
+	// by the caller via Options.Store).
+	store  cache.Store
+	disk   *cache.Cache
+	cfgErr error
 }
 
 // NewCampaign compiles every patch once and returns a Campaign. Each define
@@ -72,13 +75,16 @@ func NewCampaign(patches []*smpl.Patch, opts Options) *Campaign {
 			return c
 		}
 	}
-	if opts.CacheDir != "" {
+	switch {
+	case opts.Store != nil:
+		c.store = opts.Store
+	case opts.CacheDir != "":
 		pc, err := cache.Open(opts.CacheDir)
 		if err != nil {
 			c.cfgErr = err
 			return c
 		}
-		c.cache = pc
+		c.disk, c.store = pc, pc
 	}
 	for _, p := range patches {
 		cp := &campaignPatch{patch: p, compiled: core.Compile(p), engOpts: opts.Engine}
@@ -86,7 +92,7 @@ func NewCampaign(patches []*smpl.Patch, opts Options) *Campaign {
 		if !opts.NoPrefilter {
 			cp.filter = cp.compiled.Prefilter.ForDefines(cp.engOpts.Defines)
 		}
-		if c.cache != nil {
+		if c.store != nil {
 			cp.key = cache.ResultKey(p.Src, fingerprint(cp.engOpts))
 		}
 		c.patches = append(c.patches, cp)
@@ -108,8 +114,10 @@ func intersectDefines(defines, virtuals []string) []string {
 	return out
 }
 
-// Cache returns the open persistent cache, or nil when caching is disabled.
-func (c *Campaign) Cache() *cache.Cache { return c.cache }
+// Cache returns the disk cache opened from Options.CacheDir, or nil when
+// caching is disabled or the store was supplied via Options.Store (such a
+// caller reports its own cache status).
+func (c *Campaign) Cache() *cache.Cache { return c.disk }
 
 // RegisterScript installs a native Go handler for the named script rule on
 // every worker engine of every member patch whose rules include it. Like
@@ -121,7 +129,7 @@ func (c *Campaign) RegisterScript(rule string, fn core.ScriptFunc) *Campaign {
 }
 
 func (c *Campaign) resultCacheable() bool {
-	return c.cache != nil && len(c.scripts) == 0
+	return c.store != nil && len(c.scripts) == 0
 }
 
 // PatchOutcome is one member patch's effect on one file.
@@ -162,6 +170,11 @@ type CampaignFileResult struct {
 	// Output is the file after every patch, in order; empty when Err is
 	// set.
 	Output string
+	// OutputElided reports that the run proved the file unchanged without
+	// ever reading its text (RunStates over an unloaded FileState replayed
+	// everything from the cache): Output is "" and the file's on-disk
+	// content is its own output. Never set by Run or RunPaths.
+	OutputElided bool
 	// Diff is the unified diff from the original input to Output.
 	Diff string
 	// Patches holds one outcome per member patch, in campaign order. On a
@@ -203,21 +216,23 @@ func (c *Campaign) workers(n int) int {
 // Run streams per-file campaign results to yield in input order, stopping
 // early if yield returns false; see Runner.Run for the pool contract.
 func (c *Campaign) Run(files []core.SourceFile, yield func(CampaignFileResult) bool) {
-	c.run(len(files), func(i int) (core.SourceFile, error) { return files[i], nil }, yield)
+	c.run(len(files), func(i int) *FileState {
+		return &FileState{Name: files[i].Name, Src: files[i].Src, Loaded: true}
+	}, yield)
 }
 
 // RunPaths is Run over on-disk files, read lazily inside the pool.
 func (c *Campaign) RunPaths(paths []string, yield func(CampaignFileResult) bool) {
-	c.run(len(paths), func(i int) (core.SourceFile, error) {
-		b, err := os.ReadFile(paths[i])
-		if err != nil {
-			return core.SourceFile{Name: paths[i]}, err
-		}
-		return core.SourceFile{Name: paths[i], Src: string(b)}, nil
+	c.run(len(paths), func(i int) *FileState {
+		path := paths[i]
+		return &FileState{Name: path, Read: func() (string, error) {
+			b, err := os.ReadFile(path)
+			return string(b), err
+		}}
 	}, yield)
 }
 
-func (c *Campaign) run(n int, get func(int) (core.SourceFile, error), yield func(CampaignFileResult) bool) {
+func (c *Campaign) run(n int, get func(int) *FileState, yield func(CampaignFileResult) bool) {
 	if c.cfgErr != nil {
 		yield(CampaignFileResult{Index: -1, Err: c.cfgErr})
 		return
@@ -242,117 +257,9 @@ func (c *Campaign) run(n int, get func(int) (core.SourceFile, error), yield func
 			}
 		}
 		return func(idx int) CampaignFileResult {
-			f, err := get(idx)
-			if err != nil {
-				return CampaignFileResult{Index: idx, Name: f.Name, Err: err}
-			}
-			return c.processFile(engines, popts, f, idx)
+			return c.processState(engines, popts, get(idx), idx)
 		}
 	}, func(fr CampaignFileResult) int { return fr.Index }, yield)
-}
-
-// processFile threads one file through every member patch in order. The
-// expensive artifacts — the content hash, the identifier-word set, and the
-// parse tree — are derived from the *current* text at most once each and
-// shared by all members until a member actually changes the text, at which
-// point they are invalidated together.
-func (c *Campaign) processFile(engines []*core.Engine, popts cparse.Options, f core.SourceFile, idx int) CampaignFileResult {
-	cur := f.Src
-	curHash := ""             // content hash of cur ("" = not yet computed)
-	var words map[string]bool // identifier-word set of cur (nil = not yet scanned)
-	var parsed *cast.File     // parse tree of cur (nil = not yet parsed)
-	invalidate := func() { curHash, words, parsed = "", nil, nil }
-
-	fr := CampaignFileResult{Index: idx, Name: f.Name}
-	for i, cp := range c.patches {
-		o := PatchOutcome{Patch: cp.patch.Name}
-		if c.resultCacheable() {
-			if curHash == "" {
-				curHash = cache.HashString(cur)
-			}
-			if rec, ok := c.cache.Result(cp.key, curHash); ok {
-				o.Cached = true
-				// Normalize the JSON omitempty round trip: cold runs always
-				// produce a non-nil map, so replays must too.
-				o.MatchCount = rec.MatchCount
-				if o.MatchCount == nil {
-					o.MatchCount = map[string]int{}
-				}
-				o.EnvsTruncated = rec.EnvsTruncated
-				if rec.Changed {
-					o.Changed = true
-					cur = rec.Output
-					invalidate()
-				}
-				fr.Patches = append(fr.Patches, o)
-				continue
-			}
-		}
-		if cp.filter != nil {
-			if words == nil {
-				words = c.scanWords(cur, &curHash)
-			}
-			if !cp.filter.MayMatchWords(words) {
-				o.Skipped = true
-				o.MatchCount = map[string]int{}
-				c.put(cp, curHash, &cache.Record{Skipped: true})
-				fr.Patches = append(fr.Patches, o)
-				continue
-			}
-		}
-		if parsed == nil {
-			cf, err := cparse.Parse(f.Name, cur, popts)
-			if err != nil {
-				// No later patch could parse the file either; report once.
-				fr.Err = fmt.Errorf("parsing %s: %w", f.Name, err)
-				return fr
-			}
-			parsed = cf
-		}
-		eng := engines[i]
-		eng.Reset()
-		res, err := eng.RunParsed([]core.ParsedFile{{Name: f.Name, Src: cur, File: parsed}})
-		if err != nil {
-			fr.Err = err
-			return fr
-		}
-		out := res.Outputs[f.Name]
-		o.MatchCount = res.MatchCount
-		o.EnvsTruncated = res.EnvsTruncated
-		o.Changed = out != cur
-		rec := &cache.Record{MatchCount: res.MatchCount, EnvsTruncated: res.EnvsTruncated}
-		if o.Changed {
-			rec.Changed = true
-			rec.Output = out
-		}
-		c.put(cp, curHash, rec)
-		if o.Changed {
-			cur = out
-			invalidate()
-		}
-		fr.Patches = append(fr.Patches, o)
-	}
-	fr.Output = cur
-	fr.Diff = diff.Unified("a/"+f.Name, "b/"+f.Name, f.Src, cur)
-	return fr
-}
-
-// scanWords computes (or recalls) the identifier-word set for text, priming
-// the persistent scan cache when one is open. hash is threaded by pointer
-// so a hash computed here is reused by the caller's cache lookups.
-func (c *Campaign) scanWords(text string, hash *string) map[string]bool {
-	if c.cache == nil {
-		return index.ScanWords(text)
-	}
-	if *hash == "" {
-		*hash = cache.HashString(text)
-	}
-	if words, ok := c.cache.Words(*hash); ok {
-		return words
-	}
-	words := index.ScanWords(text)
-	c.cache.PutWords(*hash, words)
-	return words
 }
 
 // put persists one member outcome when result caching is on.
@@ -360,7 +267,7 @@ func (c *Campaign) put(cp *campaignPatch, fileHash string, rec *cache.Record) {
 	if !c.resultCacheable() || fileHash == "" {
 		return
 	}
-	c.cache.PutResult(cp.key, fileHash, rec)
+	c.store.PutResult(cp.key, fileHash, rec)
 }
 
 // Collect runs the campaign and accumulates aggregate and per-patch

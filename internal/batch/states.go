@@ -1,0 +1,245 @@
+// Request-scoped campaign runs over caller-managed file state. A resident
+// server (internal/serve) keeps content hashes, word sets, and parse trees
+// warm between requests; FileState is how it hands those artifacts to one
+// campaign sweep and harvests what the sweep had to derive. Everything is
+// lazy: a file whose outcome replays entirely from the result cache is
+// never even read, one whose words rule out every patch is read but never
+// parsed, and only files a patch actually runs on cost a parse.
+
+package batch
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/cast"
+	"repro/internal/core"
+	"repro/internal/cparse"
+	"repro/internal/diff"
+	"repro/internal/index"
+)
+
+// FileState is one corpus file presented to a campaign run, carrying
+// whatever input-text artifacts the caller already holds. The run fills in
+// (and reports, via ReadInput/ParsedInput) the artifacts it had to derive,
+// so a resident caller can keep them warm for the next request. A FileState
+// belongs to one run; the pool touches each state from exactly one worker,
+// and the caller must not read it until the run returns.
+type FileState struct {
+	// Name is the file's name, used in results and diffs.
+	Name string
+	// Src is the input text, valid only when Loaded is set. Callers that
+	// already hold the text set both and may omit Read.
+	Src    string
+	Loaded bool
+	// Read fetches the input text on demand. It is called at most once, and
+	// only when processing needs the bytes — a fully cache-replayed or
+	// prefilter-skipped file may need none.
+	Read func() (string, error)
+	// Hash is the content hash (cache.HashString) of the input text, "" when
+	// unknown. Supplying it lets cache lookups run without reading the file.
+	Hash string
+	// Parsed is the input text's parse tree, nil when absent. It must have
+	// been produced by parsing the text Hash names under the same dialect
+	// options as this campaign; the run only reads it.
+	Parsed *cast.File
+
+	// ReadInput reports that the run called Read; Src and Loaded now hold
+	// the text.
+	ReadInput bool
+	// ParsedInput reports that the run parsed the input text; Parsed now
+	// holds the fresh tree. Re-parses of transformed intermediate text are
+	// internal to the engine and not reported here.
+	ParsedInput bool
+}
+
+// load ensures the input text is resident, fetching it via Read at most
+// once.
+func (st *FileState) load() error {
+	if st.Loaded {
+		return nil
+	}
+	if st.Read == nil {
+		st.Loaded = true // no source of text: treat as empty input
+		return nil
+	}
+	src, err := st.Read()
+	if err != nil {
+		return err
+	}
+	st.Src, st.Loaded, st.ReadInput = src, true, true
+	return nil
+}
+
+// RunStates is Run over caller-prepared file states: artifacts present in a
+// state are reused instead of re-derived, and each state is updated with
+// the input-text artifacts processing produced. Results stream to yield in
+// input order exactly as with Run; a state whose outcome is fully replayed
+// from the result cache and unchanged is reported with OutputElided set
+// instead of paying a read.
+func (c *Campaign) RunStates(states []*FileState, yield func(CampaignFileResult) bool) {
+	c.run(len(states), func(i int) *FileState { return states[i] }, yield)
+}
+
+// CollectStates is Collect over RunStates.
+func (c *Campaign) CollectStates(states []*FileState, fn func(CampaignFileResult) error) (CampaignStats, error) {
+	return c.collectC(func(yield func(CampaignFileResult) bool) { c.RunStates(states, yield) }, fn)
+}
+
+// processState threads one file through every member patch in order. The
+// expensive artifacts — the content hash, the identifier-word set, and the
+// parse tree — are derived from the *current* text at most once each,
+// seeded from the FileState while the current text is still the input, and
+// invalidated together when a member actually changes the text.
+func (c *Campaign) processState(engines []*core.Engine, popts cparse.Options, st *FileState, idx int) CampaignFileResult {
+	fr := CampaignFileResult{Index: idx, Name: st.Name}
+
+	// cur* track the file's current text as members transform it. Until the
+	// first change they alias the input state; after it, artifacts no
+	// longer flow back into st.
+	cur := st.Src
+	curLoaded := st.Loaded
+	curIsInput := true
+	curHash := st.Hash
+	parsed := st.Parsed
+	var words map[string]bool
+
+	fail := func(err error) CampaignFileResult {
+		fr.Err = err
+		return fr
+	}
+	ensureCur := func() error {
+		if curLoaded {
+			return nil
+		}
+		// Only reachable while cur is the input: transformed text is always
+		// resident.
+		if err := st.load(); err != nil {
+			return err
+		}
+		cur, curLoaded = st.Src, true
+		return nil
+	}
+	ensureHash := func() error {
+		if curHash != "" {
+			return nil
+		}
+		if err := ensureCur(); err != nil {
+			return err
+		}
+		curHash = cache.HashString(cur)
+		if curIsInput {
+			st.Hash = curHash
+		}
+		return nil
+	}
+	// ensureWords answers the prefilter, from the cache store when one is
+	// open (priming it when not).
+	ensureWords := func() error {
+		if words != nil {
+			return nil
+		}
+		if c.store != nil {
+			if err := ensureHash(); err != nil {
+				return err
+			}
+			if w, ok := c.store.Words(curHash); ok {
+				words = w
+				return nil
+			}
+		}
+		if err := ensureCur(); err != nil {
+			return err
+		}
+		words = index.ScanWords(cur)
+		if c.store != nil {
+			c.store.PutWords(curHash, words)
+		}
+		return nil
+	}
+
+	for i, cp := range c.patches {
+		o := PatchOutcome{Patch: cp.patch.Name}
+		if c.resultCacheable() {
+			if err := ensureHash(); err != nil {
+				return fail(err)
+			}
+			if rec, ok := c.store.Result(cp.key, curHash); ok {
+				o.Cached = true
+				// Normalize the JSON omitempty round trip: cold runs always
+				// produce a non-nil map, so replays must too.
+				o.MatchCount = rec.MatchCount
+				if o.MatchCount == nil {
+					o.MatchCount = map[string]int{}
+				}
+				o.EnvsTruncated = rec.EnvsTruncated
+				if rec.Changed {
+					o.Changed = true
+					cur, curLoaded, curIsInput = rec.Output, true, false
+					curHash, words, parsed = "", nil, nil
+				}
+				fr.Patches = append(fr.Patches, o)
+				continue
+			}
+		}
+		if cp.filter != nil {
+			if err := ensureWords(); err != nil {
+				return fail(err)
+			}
+			if !cp.filter.MayMatchWords(words) {
+				o.Skipped = true
+				o.MatchCount = map[string]int{}
+				c.put(cp, curHash, &cache.Record{Skipped: true})
+				fr.Patches = append(fr.Patches, o)
+				continue
+			}
+		}
+		if err := ensureCur(); err != nil {
+			return fail(err)
+		}
+		if parsed == nil {
+			cf, err := cparse.Parse(st.Name, cur, popts)
+			if err != nil {
+				// No later patch could parse the file either; report once.
+				return fail(fmt.Errorf("parsing %s: %w", st.Name, err))
+			}
+			parsed = cf
+			if curIsInput {
+				st.Parsed, st.ParsedInput = cf, true
+			}
+		}
+		eng := engines[i]
+		eng.Reset()
+		res, err := eng.RunParsed([]core.ParsedFile{{Name: st.Name, Src: cur, File: parsed}})
+		if err != nil {
+			return fail(err)
+		}
+		out := res.Outputs[st.Name]
+		o.MatchCount = res.MatchCount
+		o.EnvsTruncated = res.EnvsTruncated
+		o.Changed = out != cur
+		rec := &cache.Record{MatchCount: res.MatchCount, EnvsTruncated: res.EnvsTruncated}
+		if o.Changed {
+			rec.Changed = true
+			rec.Output = out
+		}
+		c.put(cp, curHash, rec)
+		if o.Changed {
+			cur, curLoaded, curIsInput = out, true, false
+			curHash, words, parsed = "", nil, nil
+		}
+		fr.Patches = append(fr.Patches, o)
+	}
+	if curIsInput && !curLoaded {
+		// Every member replayed or skipped without needing the bytes: the
+		// file is unchanged and was never read.
+		fr.OutputElided = true
+		return fr
+	}
+	if err := st.load(); err != nil { // the diff needs the original input
+		return fail(err)
+	}
+	fr.Output = cur
+	fr.Diff = diff.Unified("a/"+st.Name, "b/"+st.Name, st.Src, cur)
+	return fr
+}

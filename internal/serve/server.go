@@ -1,0 +1,504 @@
+// The HTTP face of the daemon. JSON in, JSON (or NDJSON for streamed
+// sweeps, or Prometheus text for /metrics) out; every handler is safe for
+// concurrent use and the heavy lifting stays in Session. See docs/serve.md
+// for the API reference.
+
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/cache"
+	"repro/internal/smpl"
+)
+
+// maxRequestBody bounds /v1/apply request bodies (patch + source) so a
+// misbehaving client cannot balloon the daemon. 16 MiB comfortably holds
+// any real source file.
+const maxRequestBody = 16 << 20
+
+// Server routes the HTTP API over a set of sessions. One Server typically
+// lives for the process; sessions may be added at startup (CLI) or over
+// the program's lifetime (library use).
+type Server struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+
+	// defaults configures session-less /v1/apply requests (inline patch +
+	// inline source); scratch is their cache stack and compiled their
+	// compiled-campaign LRU, shared with session-scoped inline patches
+	// (keyed per session, since options differ).
+	defaults batch.Options
+	scratch  *cache.Memory
+	compiled *cache.LRU[*batch.Campaign]
+
+	requests httpCounters
+}
+
+// httpCounters counts requests per endpoint plus error responses.
+type httpCounters struct {
+	healthz, metrics, sessions, stats, run, invalidate, apply atomic.Int64
+	errors                                                    atomic.Int64
+}
+
+// NewServer returns a Server with no sessions. defaults configures
+// session-less applies (dialect, limits, workers); its CacheDir/Store are
+// ignored — scratch applies cache in memory only.
+func NewServer(defaults batch.Options) *Server {
+	defaults.CacheDir = ""
+	defaults.Store = nil
+	srv := &Server{
+		sessions: map[string]*Session{},
+		defaults: defaults,
+		scratch:  cache.NewMemory(nil, 4096),
+		compiled: cache.NewLRU[*batch.Campaign](64, 64),
+	}
+	return srv
+}
+
+// AddSession builds the session for cfg and registers it.
+func (srv *Server) AddSession(cfg Config) (*Session, error) {
+	s, err := NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if _, dup := srv.sessions[s.ID()]; dup {
+		s.Close()
+		return nil, fmt.Errorf("serve: duplicate session id %q", s.ID())
+	}
+	srv.sessions[s.ID()] = s
+	return s, nil
+}
+
+// Session returns a registered session.
+func (srv *Server) Session(id string) (*Session, bool) {
+	srv.mu.RLock()
+	defer srv.mu.RUnlock()
+	s, ok := srv.sessions[id]
+	return s, ok
+}
+
+// Close stops every session's watcher.
+func (srv *Server) Close() {
+	srv.mu.RLock()
+	defer srv.mu.RUnlock()
+	for _, s := range srv.sessions {
+		s.Close()
+	}
+}
+
+// sessionList returns the sessions sorted by id.
+func (srv *Server) sessionList() []*Session {
+	srv.mu.RLock()
+	defer srv.mu.RUnlock()
+	out := make([]*Session, 0, len(srv.sessions))
+	for _, s := range srv.sessions {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// Handler returns the daemon's HTTP handler.
+func (srv *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", srv.handleHealthz)
+	mux.HandleFunc("GET /metrics", srv.handleMetrics)
+	mux.HandleFunc("GET /v1/sessions", srv.handleSessions)
+	mux.HandleFunc("GET /v1/sessions/{id}/stats", srv.handleStats)
+	mux.HandleFunc("POST /v1/sessions/{id}/run", srv.handleRun)
+	mux.HandleFunc("POST /v1/sessions/{id}/invalidate", srv.handleInvalidate)
+	mux.HandleFunc("POST /v1/apply", srv.handleApply)
+	return mux
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func (srv *Server) fail(w http.ResponseWriter, code int, format string, args ...any) {
+	srv.requests.errors.Add(1)
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (srv *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	srv.requests.healthz.Add(1)
+	writeJSON(w, map[string]any{"status": "ok", "sessions": len(srv.sessionList())})
+}
+
+func (srv *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	srv.requests.sessions.Add(1)
+	out := []SessionStats{}
+	for _, s := range srv.sessionList() {
+		out = append(out, s.Stats())
+	}
+	writeJSON(w, out)
+}
+
+func (srv *Server) session(w http.ResponseWriter, r *http.Request) *Session {
+	id := r.PathValue("id")
+	s, ok := srv.Session(id)
+	if !ok {
+		srv.fail(w, http.StatusNotFound, "unknown session %q", id)
+		return nil
+	}
+	return s
+}
+
+func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	srv.requests.stats.Add(1)
+	if s := srv.session(w, r); s != nil {
+		writeJSON(w, s.Stats())
+	}
+}
+
+func (srv *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
+	srv.requests.invalidate.Add(1)
+	s := srv.session(w, r)
+	if s == nil {
+		return
+	}
+	s.Invalidate()
+	writeJSON(w, map[string]string{"status": "invalidated"})
+}
+
+// RunLine is one NDJSON line of a streamed sweep: per-file lines first, in
+// sorted path order, then exactly one summary line.
+type RunLine struct {
+	// Per-file fields.
+	Name    string      `json:"name,omitempty"`
+	Changed bool        `json:"changed,omitempty"`
+	Diff    string      `json:"diff,omitempty"`
+	Output  *string     `json:"output,omitempty"`
+	Error   string      `json:"error,omitempty"`
+	Patches []PatchLine `json:"patches,omitempty"`
+
+	// Summary is set only on the final line.
+	Summary *RunSummary `json:"summary,omitempty"`
+}
+
+// PatchLine is one campaign member's outcome on one file.
+type PatchLine struct {
+	Patch   string `json:"patch"`
+	Matches int    `json:"matches"`
+	Changed bool   `json:"changed,omitempty"`
+	Skipped bool   `json:"skipped,omitempty"`
+	Cached  bool   `json:"cached,omitempty"`
+}
+
+// RunSummary is the trailing NDJSON line of a sweep.
+type RunSummary struct {
+	Files     int            `json:"files"`
+	Changed   int            `json:"changed"`
+	Errors    int            `json:"errors"`
+	Cached    int            `json:"cached"`
+	Skipped   int            `json:"skipped"`
+	Parsed    int            `json:"parsed"`
+	Read      int            `json:"read"`
+	ElapsedMS int64          `json:"elapsed_ms"`
+	PerPatch  []PatchSummary `json:"per_patch,omitempty"`
+}
+
+// PatchSummary is one campaign member's aggregate over a sweep — the wire
+// mirror of batch.PatchStats, so the HTTP contract is decoupled from
+// internal struct layout.
+type PatchSummary struct {
+	Patch   string `json:"patch"`
+	Matched int    `json:"matched"`
+	Changed int    `json:"changed"`
+	Matches int    `json:"matches"`
+	Skipped int    `json:"skipped"`
+	Cached  int    `json:"cached"`
+}
+
+func patchSummaries(per []batch.PatchStats) []PatchSummary {
+	out := make([]PatchSummary, len(per))
+	for i, ps := range per {
+		out[i] = PatchSummary{
+			Patch:   ps.Patch,
+			Matched: ps.Matched,
+			Changed: ps.Changed,
+			Matches: ps.Matches,
+			Skipped: ps.Skipped,
+			Cached:  ps.Cached,
+		}
+	}
+	return out
+}
+
+// fileLine renders one campaign result; includeOutput additionally carries
+// the full post-patch text (on-disk content when elided).
+func fileLine(fr batch.CampaignFileResult, includeOutput bool) RunLine {
+	line := RunLine{Name: fr.Name, Changed: fr.Changed(), Diff: fr.Diff}
+	if fr.Err != nil {
+		line.Error = fr.Err.Error()
+	}
+	if includeOutput && fr.Err == nil && !fr.OutputElided {
+		out := fr.Output
+		line.Output = &out
+	}
+	for _, o := range fr.Patches {
+		line.Patches = append(line.Patches, PatchLine{
+			Patch:   o.Patch,
+			Matches: o.Matches(),
+			Changed: o.Changed,
+			Skipped: o.Skipped,
+			Cached:  o.Cached,
+		})
+	}
+	return line
+}
+
+// handleRun streams a full-corpus sweep as NDJSON. ?output=1 includes each
+// file's post-patch text (files proven unchanged without a read omit it —
+// their on-disk content is the output).
+func (srv *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	srv.requests.run.Add(1)
+	s := srv.session(w, r)
+	if s == nil {
+		return
+	}
+	includeOutput := r.URL.Query().Get("output") == "1"
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	start := time.Now()
+	stats, err := s.Run(func(fr batch.CampaignFileResult) error {
+		if err := enc.Encode(fileLine(fr, includeOutput)); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		// Headers are already out; the error becomes the final line.
+		srv.requests.errors.Add(1)
+		enc.Encode(RunLine{Error: err.Error()})
+		return
+	}
+	enc.Encode(RunLine{Summary: &RunSummary{
+		Files:     stats.Files,
+		Changed:   stats.Changed,
+		Errors:    stats.Errors,
+		Cached:    stats.Cached,
+		Skipped:   stats.Skipped,
+		Parsed:    stats.Parsed,
+		Read:      stats.Read,
+		ElapsedMS: time.Since(start).Milliseconds(),
+		PerPatch:  patchSummaries(stats.PerPatch),
+	}})
+}
+
+// ApplyRequest is the body of POST /v1/apply. Exactly one of Source/File
+// selects the input; Session and Patch select what to apply:
+//
+//   - Session set, Patch empty: the session's campaign.
+//   - Patch set: that inline patch alone — compiled once and kept in an
+//     LRU — under the session's options and cache stack when Session is
+//     set, the server defaults otherwise.
+//   - File requires Session (it names a corpus file relative to the root).
+type ApplyRequest struct {
+	Session string  `json:"session,omitempty"`
+	Patch   string  `json:"patch,omitempty"`
+	Name    string  `json:"name,omitempty"`
+	Source  *string `json:"source,omitempty"`
+	File    string  `json:"file,omitempty"`
+}
+
+// ApplyResponse is the body of a successful /v1/apply.
+type ApplyResponse struct {
+	Name    string      `json:"name"`
+	Changed bool        `json:"changed"`
+	Diff    string      `json:"diff,omitempty"`
+	Output  *string     `json:"output,omitempty"`
+	Patches []PatchLine `json:"patches,omitempty"`
+}
+
+func (srv *Server) handleApply(w http.ResponseWriter, r *http.Request) {
+	srv.requests.apply.Add(1)
+	var req ApplyRequest
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
+	if err != nil {
+		srv.fail(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if len(body) > maxRequestBody {
+		srv.fail(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", maxRequestBody)
+		return
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		srv.fail(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if (req.Source == nil) == (req.File == "") {
+		srv.fail(w, http.StatusBadRequest, "exactly one of source and file must be given")
+		return
+	}
+	if req.File != "" && req.Session == "" {
+		srv.fail(w, http.StatusBadRequest, "file requires a session")
+		return
+	}
+
+	var session *Session
+	if req.Session != "" {
+		s, ok := srv.Session(req.Session)
+		if !ok {
+			srv.fail(w, http.StatusNotFound, "unknown session %q", req.Session)
+			return
+		}
+		session = s
+	}
+
+	var fr batch.CampaignFileResult
+	if req.Patch != "" {
+		fr, err = srv.applyInline(session, req)
+	} else if session == nil {
+		srv.fail(w, http.StatusBadRequest, "either a session or an inline patch is required")
+		return
+	} else if req.File != "" {
+		fr, err = session.ApplyPath(req.File)
+	} else {
+		fr, err = session.ApplySnippet(req.Name, *req.Source)
+	}
+	if err != nil {
+		srv.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if fr.Err != nil {
+		srv.fail(w, http.StatusUnprocessableEntity, "%v", fr.Err)
+		return
+	}
+	resp := ApplyResponse{Name: fr.Name, Changed: fr.Changed(), Diff: fr.Diff}
+	if !fr.OutputElided {
+		out := fr.Output
+		resp.Output = &out
+	}
+	line := fileLine(fr, false)
+	resp.Patches = line.Patches
+	writeJSON(w, resp)
+}
+
+// applyInline parses (or recalls) an inline patch and applies it to the
+// requested input. With a session, the one-patch campaign shares the
+// session's options and cache stack, so resident hashes, word sets, and
+// parse trees accelerate it exactly like the session's own campaign; the
+// compiled campaign itself is kept in the server's LRU keyed by patch text
+// and scope.
+func (srv *Server) applyInline(session *Session, req ApplyRequest) (batch.CampaignFileResult, error) {
+	scope := ""
+	opts := srv.defaults
+	store := cache.Store(srv.scratch)
+	if session != nil {
+		scope = session.ID()
+		opts = session.opts
+		store = session.mem
+	}
+	key := scope + "\x00" + req.Patch
+	camp, ok := srv.compiled.Get(key)
+	if !ok {
+		p, err := smpl.ParsePatch("inline.cocci", req.Patch)
+		if err != nil {
+			return batch.CampaignFileResult{}, err
+		}
+		opts.Store = store
+		opts.CacheDir = ""
+		camp = batch.NewCampaign([]*smpl.Patch{p}, opts)
+		srv.compiled.Add(key, camp)
+	}
+
+	var st *batch.FileState
+	switch {
+	case req.File != "":
+		// Resident artifacts are keyed by content hash, so they serve any
+		// patch: seed the state exactly like a session sweep would.
+		rel := req.File
+		fr, err := session.applyPathWith(camp, rel)
+		return fr, err
+	default:
+		name := req.Name
+		if name == "" {
+			name = "snippet.c"
+		}
+		st = &batch.FileState{Name: name, Src: *req.Source, Loaded: true}
+	}
+	var out batch.CampaignFileResult
+	if _, err := camp.CollectStates([]*batch.FileState{st}, func(fr batch.CampaignFileResult) error {
+		out = fr
+		return nil
+	}); err != nil {
+		return batch.CampaignFileResult{}, err
+	}
+	return out, nil
+}
+
+func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	srv.requests.metrics.Add(1)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	c := &srv.requests
+	for _, m := range []struct {
+		endpoint string
+		n        int64
+	}{
+		{"healthz", c.healthz.Load()},
+		{"metrics", c.metrics.Load()},
+		{"sessions", c.sessions.Load()},
+		{"stats", c.stats.Load()},
+		{"run", c.run.Load()},
+		{"invalidate", c.invalidate.Load()},
+		{"apply", c.apply.Load()},
+	} {
+		fmt.Fprintf(w, "gocci_serve_http_requests_total{endpoint=%q} %d\n", m.endpoint, m.n)
+	}
+	fmt.Fprintf(w, "gocci_serve_http_errors_total %d\n", c.errors.Load())
+	sessions := srv.sessionList()
+	fmt.Fprintf(w, "gocci_serve_sessions %d\n", len(sessions))
+	for _, s := range sessions {
+		st := s.Stats()
+		id := st.ID
+		for _, g := range []struct {
+			name string
+			n    int64
+		}{
+			{"tracked_files", int64(st.TrackedFiles)},
+			{"runs_total", st.Runs},
+			{"applies_total", st.Applies},
+			{"files_processed_total", st.FilesProcessed},
+			{"files_changed_total", st.FilesChanged},
+			{"file_errors_total", st.FileErrors},
+			{"patch_results_cached_total", st.PatchCached},
+			{"patch_results_skipped_total", st.PatchSkipped},
+			{"files_parsed_total", st.FilesParsed},
+			{"files_read_total", st.FilesRead},
+			{"ast_cache_entries", int64(st.ASTEntries)},
+			{"ast_cache_hits_total", st.ASTHits},
+			{"ast_cache_misses_total", st.ASTMisses},
+			{"mem_cache_entries", int64(st.MemEntries)},
+			{"mem_cache_hits_total", st.MemHits},
+			{"mem_cache_misses_total", st.MemMisses},
+			{"invalidations_total", st.Invalidations},
+			{"watch_scans_total", st.WatchScans},
+		} {
+			fmt.Fprintf(w, "gocci_serve_session_%s{session=%q} %d\n", g.name, id, g.n)
+		}
+	}
+}

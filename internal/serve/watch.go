@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"os"
+	"time"
+)
+
+// watch is the session's poll watcher: a plain mtime/size scanner in its
+// own goroutine (no OS-specific notification dependencies), dropping
+// resident state for tracked files that changed or vanished since their
+// last validation. Runs revalidate by stat anyway, so the watcher buys
+// promptness and memory hygiene, never correctness: with it, a sweep
+// arriving long after an edit finds the stale entries already gone instead
+// of carrying them until the stat comparison discards them.
+func (s *Session) watch(interval time.Duration) {
+	defer close(s.watchDone)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.watchStop:
+			return
+		case <-ticker.C:
+			s.scanOnce()
+		}
+	}
+}
+
+// scanOnce performs one watcher pass over the validation table. Membership
+// is defined by the table itself, not by a corpus re-walk: ApplyPath may
+// track files outside the sweep's extension set, and those entries must
+// stay warm too. A deleted file simply fails its stat and is dropped.
+func (s *Session) scanOnce() {
+	// Snapshot the tracked set, stat outside the lock, then drop invalid
+	// entries — a run landing in between only re-derives a little more.
+	s.mu.Lock()
+	tracked := make([]string, 0, len(s.files))
+	for path := range s.files {
+		tracked = append(tracked, path)
+	}
+	s.mu.Unlock()
+
+	var stale []string
+	for _, path := range tracked {
+		info, err := os.Stat(path)
+		if err != nil {
+			stale = append(stale, path)
+			continue
+		}
+		s.mu.Lock()
+		e := s.files[path]
+		valid := e != nil && e.mtime.Equal(info.ModTime()) && e.size == info.Size()
+		s.mu.Unlock()
+		if !valid {
+			stale = append(stale, path)
+		}
+	}
+	if len(stale) > 0 {
+		s.mu.Lock()
+		for _, path := range stale {
+			delete(s.files, path)
+		}
+		s.mu.Unlock()
+		s.invalidations.Add(int64(len(stale)))
+	}
+	s.watchScans.Add(1)
+	s.lastScanNano.Store(time.Now().UnixNano())
+}

@@ -395,6 +395,10 @@ type CampaignFileResult struct {
 	// Output is the file after every patch, in order; empty when Err is
 	// set.
 	Output string
+	// OutputElided reports that a resident run (Session) proved the file
+	// unchanged without ever reading it: Output is "" and the file's
+	// on-disk content is its own output. Never set by Campaign.
+	OutputElided bool
 	// Diff is the unified diff from the original input to Output.
 	Diff string
 	// Patches holds one outcome per member patch, in campaign order.
@@ -498,10 +502,11 @@ func (c *Campaign) ApplyAllPathsFunc(paths []string, fn func(CampaignFileResult)
 
 func publicCampaignResult(fr batch.CampaignFileResult) CampaignFileResult {
 	out := CampaignFileResult{
-		Name:   fr.Name,
-		Output: fr.Output,
-		Diff:   fr.Diff,
-		Err:    fr.Err,
+		Name:         fr.Name,
+		Output:       fr.Output,
+		OutputElided: fr.OutputElided,
+		Diff:         fr.Diff,
+		Err:          fr.Err,
 	}
 	for _, o := range fr.Patches {
 		out.Patches = append(out.Patches, PatchOutcome{

@@ -1,0 +1,179 @@
+package sempatch
+
+// The resident serving layer: a Server keeps corpus sessions — compiled
+// patch campaigns, the scan-word index, content hashes, and an LRU of
+// parsed trees — warm in memory across requests, so repeated patch runs
+// over a slowly-changing tree cost only what changed. The same state is
+// reachable as a library (Session methods) and over HTTP
+// (Server.Handler, the API cmd/gocci-serve exposes); see docs/serve.md.
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/serve"
+	"repro/internal/smpl"
+)
+
+// Server hosts resident corpus sessions and the HTTP/JSON API over them.
+type Server struct {
+	s *serve.Server
+}
+
+// NewServer returns a server with no sessions. defaults configures
+// session-less one-shot applies (inline patch + inline source over HTTP):
+// dialect, limits, and worker count; its CacheDir is ignored — such
+// applies cache in memory only.
+func NewServer(defaults Options) *Server {
+	return &Server{s: serve.NewServer(defaults.batch())}
+}
+
+// Handler returns the HTTP handler serving the API documented in
+// docs/serve.md: GET /healthz, GET /metrics, GET /v1/sessions,
+// GET /v1/sessions/{id}/stats, POST /v1/sessions/{id}/run (NDJSON stream),
+// POST /v1/sessions/{id}/invalidate, and POST /v1/apply.
+func (s *Server) Handler() http.Handler { return s.s.Handler() }
+
+// AddSession builds and registers the resident session for cfg.
+// Configuration errors — a missing root, no patches, an undeclared define,
+// an unusable cache directory, a duplicate id — are returned here, never
+// deferred to the first request.
+func (s *Server) AddSession(cfg SessionConfig) (*Session, error) {
+	patches := make([]*smpl.Patch, len(cfg.Patches))
+	for i, p := range cfg.Patches {
+		patches[i] = p.p
+	}
+	ss, err := s.s.AddSession(serve.Config{
+		ID:              cfg.ID,
+		Root:            cfg.Root,
+		Patches:         patches,
+		Options:         cfg.Options.batch(),
+		ASTCacheSize:    cfg.ASTCacheSize,
+		MemCacheEntries: cfg.MemCacheEntries,
+		WatchInterval:   cfg.WatchInterval,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: ss}, nil
+}
+
+// Session returns a registered session by id.
+func (s *Server) Session(id string) (*Session, bool) {
+	ss, ok := s.s.Session(id)
+	if !ok {
+		return nil, false
+	}
+	return &Session{s: ss}, true
+}
+
+// Close stops every session's watcher goroutine. Sessions stay usable;
+// only background invalidation stops.
+func (s *Server) Close() { s.s.Close() }
+
+// SessionConfig configures one resident corpus session.
+type SessionConfig struct {
+	// ID names the session in URLs and lookups ("default" when empty).
+	ID string
+	// Root is the corpus directory the session serves.
+	Root string
+	// Patches is the campaign applied by sweeps and session-scoped
+	// applies, in order.
+	Patches []*Patch
+	// Options is the engine and pool configuration. Options.CacheDir,
+	// when set, becomes the disk layer behind the session's in-memory
+	// cache, so a restarted daemon comes back warm.
+	Options Options
+	// ASTCacheSize bounds the resident parse-tree LRU (default 256 trees).
+	ASTCacheSize int
+	// MemCacheEntries bounds the in-memory scan/result cache entry count
+	// (default 65536).
+	MemCacheEntries int
+	// WatchInterval enables the poll watcher at that period; 0 disables
+	// it. Runs revalidate files by stat either way — the watcher only
+	// reclaims resident state for edited or deleted files sooner.
+	WatchInterval time.Duration
+}
+
+// Session is one resident corpus: compiled campaign, cache stack, and
+// per-file validation state. All methods are safe for concurrent use.
+type Session struct {
+	s *serve.Session
+}
+
+// ID returns the session's identifier.
+func (s *Session) ID() string { return s.s.ID() }
+
+// Root returns the corpus directory.
+func (s *Session) Root() string { return s.s.Root() }
+
+// ServeRunStats aggregates one resident sweep: the campaign statistics
+// plus the resident-state accounting that distinguishes a warm daemon
+// from a cold batch run.
+type ServeRunStats struct {
+	CampaignStats
+	// Cached and Skipped total the per-patch counters across the campaign.
+	Cached  int
+	Skipped int
+	// Parsed counts files whose input text was parsed this sweep — after
+	// editing k of N corpus files, a warm sweep parses exactly k. Read
+	// counts files whose bytes were read at all.
+	Parsed int
+	Read   int
+}
+
+// Run sweeps the whole corpus through the campaign, streaming per-file
+// results to fn (which may be nil) in sorted path order. Resident
+// artifacts are revalidated by stat, reused where valid, re-derived and
+// kept where not; outputs are byte-identical to a cold batch run over the
+// same tree. A non-nil error from fn stops the sweep.
+func (s *Session) Run(fn func(CampaignFileResult) error) (ServeRunStats, error) {
+	var wrapped func(batch.CampaignFileResult) error
+	if fn != nil {
+		wrapped = func(fr batch.CampaignFileResult) error { return fn(publicCampaignResult(fr)) }
+	}
+	st, err := s.s.Run(wrapped)
+	return ServeRunStats{
+		CampaignStats: publicCampaignStats(st.CampaignStats),
+		Cached:        st.Cached,
+		Skipped:       st.Skipped,
+		Parsed:        st.Parsed,
+		Read:          st.Read,
+	}, err
+}
+
+// ApplyPath applies the session's campaign to one corpus file named
+// relative to the root, reusing and refreshing resident artifacts. The
+// path must stay inside the root.
+func (s *Session) ApplyPath(rel string) (CampaignFileResult, error) {
+	fr, err := s.s.ApplyPath(rel)
+	if err != nil {
+		return CampaignFileResult{}, err
+	}
+	return publicCampaignResult(fr), nil
+}
+
+// ApplySnippet applies the session's campaign to an in-memory snippet.
+// Repeated snippets replay from the session's result cache; the snippet
+// never enters the corpus state.
+func (s *Session) ApplySnippet(name, src string) (CampaignFileResult, error) {
+	fr, err := s.s.ApplySnippet(name, src)
+	if err != nil {
+		return CampaignFileResult{}, err
+	}
+	return publicCampaignResult(fr), nil
+}
+
+// Invalidate drops every resident artifact, forcing the next request to
+// re-derive hashes, word sets, and parse trees. The content-addressed
+// disk cache (never stale) is untouched.
+func (s *Session) Invalidate() { s.s.Invalidate() }
+
+// SessionStats is a point-in-time snapshot of a session's resident state
+// and cumulative counters — the same data GET /v1/sessions/{id}/stats
+// serves.
+type SessionStats = serve.SessionStats
+
+// Stats snapshots the session.
+func (s *Session) Stats() SessionStats { return s.s.Stats() }

@@ -124,8 +124,9 @@ func BenchmarkHipifyASTvsText(b *testing.B) {
 	})
 }
 
-// S4: dots constraint checking backends — syntactic subtree scan only vs
-// with the additional CTL/CFG path verification.
+// S4: dots matching backends — the path-sensitive CFG engine (default,
+// one cached graph per function) vs the legacy syntactic sequence matcher,
+// bare and with its per-match CTL post-verification.
 func BenchmarkDotsBackend(b *testing.B) {
 	patch := `@r@
 @@
@@ -140,8 +141,12 @@ unlock();
 	src := sb.String()
 	for _, mode := range []struct {
 		name string
-		ctl  bool
-	}{{"sequence", false}, {"sequence+ctl", true}} {
+		opts Options
+	}{
+		{"cfg", Options{}},
+		{"sequence", Options{SeqDots: true}},
+		{"sequence+ctl", Options{SeqDots: true, UseCTL: true}},
+	} {
 		b.Run(mode.name, func(b *testing.B) {
 			p, err := ParsePatch("dots.cocci", patch)
 			if err != nil {
@@ -150,7 +155,7 @@ unlock();
 			b.SetBytes(int64(len(src)))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := NewApplier(p, Options{UseCTL: mode.ctl}).Apply(File{Name: "c.c", Src: src}); err != nil {
+				if _, err := NewApplier(p, mode.opts).Apply(File{Name: "c.c", Src: src}); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -46,7 +46,8 @@ func main() {
 	spFile := flag.String("sp-file", "", "semantic patch file (.cocci); may also be given as positional arguments")
 	cxx := flag.Int("cxx", 0, "enable C++ mode with the given standard (11, 17, 23); 0 = C")
 	cuda := flag.Bool("cuda", false, "enable CUDA <<< >>> kernel launches")
-	useCTL := flag.Bool("use-ctl", false, "verify dots constraints with the CTL/CFG backend")
+	useCTL := flag.Bool("use-ctl", false, "verify dots constraints with the CTL/CFG backend (legacy sequence matcher only)")
+	seqDots := flag.Bool("seq-dots", false, "match statement dots with the legacy syntactic sequence matcher instead of the CFG path engine")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker-pool size per request")
 	noPrefilter := flag.Bool("no-prefilter", false, "parse every file, even those a patch provably cannot touch")
 	cacheDir := flag.String("cache-dir", "", "disk cache behind the in-memory layer; a restarted daemon comes back warm")
@@ -84,7 +85,7 @@ func main() {
 		patches[i] = p
 	}
 	opts := sempatch.Options{
-		CPlusPlus: *cxx > 0, Std: *cxx, CUDA: *cuda, UseCTL: *useCTL,
+		CPlusPlus: *cxx > 0, Std: *cxx, CUDA: *cuda, UseCTL: *useCTL, SeqDots: *seqDots,
 		Defines: defines, Workers: *workers, NoPrefilter: *noPrefilter,
 	}
 

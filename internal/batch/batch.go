@@ -75,8 +75,8 @@ func fingerprint(o core.Options) string {
 	}
 	defines := append([]string(nil), o.Defines...)
 	sort.Strings(defines)
-	return fmt.Sprintf("cpp=%v,std=%d,cuda=%v,ctl=%v,maxenvs=%d,maxmatch=%d,D=%s",
-		o.CPlusPlus, o.Std, o.CUDA, o.UseCTL, maxEnvs, o.MaxMatchesPerRule,
+	return fmt.Sprintf("cpp=%v,std=%d,cuda=%v,ctl=%v,seqdots=%v,maxenvs=%d,maxmatch=%d,D=%s",
+		o.CPlusPlus, o.Std, o.CUDA, o.UseCTL, o.SeqDots, maxEnvs, o.MaxMatchesPerRule,
 		strings.Join(defines, ";"))
 }
 

@@ -511,12 +511,29 @@ type MetaStmt struct {
 
 func (*MetaStmt) stmtNode() {}
 
-// Dots is "..." in statement or expression-list position.
+// Dots is "..." in statement or expression-list position. In statement
+// position the dots stand for a control-flow path, and the When* fields
+// carry the full SmPL `when` constraint family governing what that path may
+// traverse and how it is quantified.
 type Dots struct {
 	span
-	// Whens are "when != e" style constraints (expression text).
+	// WhenNot holds "when != e" constraints: no traversed statement may
+	// contain a match of e.
 	WhenNot []Expr
+	// WhenOnly holds "when == e" constraints: every traversed statement
+	// must be a match of one of these expressions.
+	WhenOnly []Expr
+	// WhenAny ("when any") lifts all content constraints from the path.
+	// The parser rejects combining it with WhenNot/WhenOnly.
 	WhenAny bool
+	// WhenStrict/WhenForall ("when strict", "when forall") require the
+	// constraints to hold on every path between the surrounding anchors,
+	// not just on some witness path.
+	WhenStrict bool
+	WhenForall bool
+	// WhenExists ("when exists") names the default existential
+	// quantification explicitly.
+	WhenExists bool
 }
 
 func (*Dots) stmtNode() {}

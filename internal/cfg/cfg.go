@@ -303,6 +303,55 @@ func (b *builder) popLoop() {
 	b.continues = b.continues[:len(b.continues)-1]
 }
 
+// ProbeNodes returns the AST fragments a path constraint must inspect when
+// a path traverses this node. For a Stmt node that is the whole statement.
+// For a Branch node it is the header only — condition, loop clauses, range
+// declaration — because the construct's body statements are distinct CFG
+// nodes and are checked if and only if the path actually enters them. A
+// path skipping over an `if` header must not be vetoed by a forbidden
+// expression sitting in an arm the path never takes.
+func (n *Node) ProbeNodes() []cast.Node {
+	if n.AST == nil {
+		return nil
+	}
+	if n.Kind == Stmt {
+		return []cast.Node{n.AST}
+	}
+	if n.Kind != Branch {
+		return nil
+	}
+	var out []cast.Node
+	add := func(m cast.Node) {
+		if m != nil {
+			out = append(out, m)
+		}
+	}
+	switch x := n.AST.(type) {
+	case *cast.If:
+		add(x.Cond)
+	case *cast.While:
+		add(x.Cond)
+	case *cast.DoWhile:
+		add(x.Cond)
+	case *cast.Switch:
+		add(x.Cond)
+	case *cast.For:
+		if x.Init != nil {
+			add(x.Init)
+		}
+		add(x.Cond)
+		add(x.Post)
+	case *cast.RangeFor:
+		if x.Decl != nil {
+			add(x.Decl)
+		}
+		add(x.X)
+	default:
+		add(x)
+	}
+	return out
+}
+
 // Reachable reports whether `to` is reachable from `from` following edges,
 // optionally excluding a node predicate (for "when != S" path constraints).
 func (g *Graph) Reachable(from, to int, excluded func(*Node) bool) bool {

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"repro/internal/cast"
+	"repro/internal/cfg"
 	"repro/internal/cparse"
 	"repro/internal/diff"
 	"repro/internal/match"
@@ -29,8 +30,16 @@ type Options struct {
 	Std       int // 11, 17, 23
 	CUDA      bool
 	// UseCTL enables control-flow (CTL) verification of dots constraints in
-	// addition to the syntactic check.
+	// addition to the syntactic check. It only affects patterns matched by
+	// the legacy sequence matcher (SeqDots, or patterns the path engine
+	// does not take): the CFG dots engine enforces path constraints itself.
 	UseCTL bool
+	// SeqDots selects the legacy syntactic sequence matcher for statement
+	// dots instead of the default path-sensitive CFG engine. On
+	// straight-line code the two produce identical results; the sequence
+	// matcher cannot match anchors sitting on different branch arms or
+	// across loop back-edges.
+	SeqDots bool
 	// MaxEnvs caps the environment set size (default 4096).
 	MaxEnvs int
 	// MaxMatchesPerRule caps matches per rule per file (default unlimited).
@@ -136,6 +145,26 @@ type fileState struct {
 	file  *cast.File
 	ed    *transform.EditSet
 	dirty bool
+	// cfgs caches one control-flow graph per function for the current
+	// parse. Both the CFG dots engine and the CTL verifier read through
+	// cfg(); a reparse invalidates the cache with the tree. Before this
+	// cache the CTL verifier rebuilt the graph per match — O(matches ×
+	// function size) on match-dense files (BenchmarkCFGCache).
+	cfgs map[*cast.FuncDef]*cfg.Graph
+}
+
+// cfg returns the cached control-flow graph for a function of this file's
+// current parse, building it on first use.
+func (st *fileState) cfg(fd *cast.FuncDef) *cfg.Graph {
+	if g, ok := st.cfgs[fd]; ok {
+		return g
+	}
+	if st.cfgs == nil {
+		st.cfgs = map[*cast.FuncDef]*cfg.Graph{}
+	}
+	g := cfg.Build(fd)
+	st.cfgs[fd] = g
+	return g
 }
 
 func (e *Engine) parseOpts() cparse.Options {
@@ -335,6 +364,20 @@ func (e *Engine) runMatch(rule *smpl.Rule, envs []match.Env, states []*fileState
 	// Names this rule inherits: local -> qualified key.
 	inherits := cr.inherits
 
+	// Engine choice is a per-rule constant: the CFG path engine unless the
+	// caller opted out or the pattern shape forces the sequence fallback.
+	cfgPrimary := !e.opts.SeqDots && match.CFGEligible(rule.Pattern, metas)
+	// `when strict`/`when forall` are path quantifiers only the CFG engine
+	// can decide. Refuse to degrade them silently to existential matching:
+	// a quantified dots on a fallback path (or nested inside an anchor,
+	// where matching is syntactic even under the CFG engine) is an error,
+	// not a weaker match.
+	if top, nested := quantifiedDots(rule.Pattern); (top && !cfgPrimary) || nested {
+		return nil, fmt.Errorf(
+			"rule %s: `when strict`/`when forall` requires the CFG dots engine, which cannot handle this pattern (quantified dots must be at the top level of a pattern without statement-list metavariables, compound anchors, or --seq-dots)",
+			rule.Name)
+	}
+
 	var out []match.Env
 	anyMatch := false
 
@@ -364,8 +407,15 @@ envLoop:
 				Inherited:  inherited,
 				MaxMatches: e.opts.MaxMatchesPerRule,
 			}
+			if !e.opts.SeqDots {
+				m.CFGs = st.cfg
+			}
 			for _, mt := range m.FindAll() {
-				if e.opts.UseCTL && !e.verifyCTL(st, rule, &mt) {
+				// The CFG dots engine enforces path constraints while
+				// matching; re-verifying with the anchor-span heuristics of
+				// verifyCTL could wrongly reject its cross-branch and
+				// back-edge matches.
+				if e.opts.UseCTL && !cfgPrimary && !e.verifyCTL(st, rule, &mt) {
 					continue
 				}
 				// Clamp at the cap, not one past it, and stop before the
@@ -458,6 +508,7 @@ func (e *Engine) reparse(states []*fileState) error {
 		st.file = cf
 		st.ed = transform.NewEditSet(cf.Toks)
 		st.dirty = false
+		st.cfgs = nil // graphs describe the old tree
 	}
 	return nil
 }

@@ -23,7 +23,7 @@ func (e *Engine) verifyCTL(st *fileState, rule *smpl.Rule, mt *match.Match) bool
 	if fd == nil {
 		return true
 	}
-	g := cfg.Build(fd)
+	g := st.cfg(fd)
 	from := nodeCovering(g, mt.First)
 	to := nodeCovering(g, mt.Last)
 	if from < 0 || to < 0 {
@@ -31,20 +31,24 @@ func (e *Engine) verifyCTL(st *fileState, rule *smpl.Rule, mt *match.Match) bool
 	}
 	metas := e.compiled.rule(rule).metas
 	avoid := func(n *cfg.Node) bool {
-		if n.Kind != cfg.Stmt || n.AST == nil {
+		if n.AST == nil {
 			return false
 		}
 		f, l := n.AST.Span()
 		// nodes inside the matched span are the anchors themselves
 		if f >= mt.First && l <= mt.Last {
-			first, last := n.AST.Span()
-			if first == mt.First || last == mt.Last {
+			if f == mt.First || l == mt.Last {
 				return false
 			}
 		}
-		for _, ce := range constraints {
-			if exprOccursIn(ce, n.AST, metas, st.file, mt.Env) {
-				return true
+		// Probe branch headers too: a forbidden expression in an if/loop
+		// condition sits on every path through the header, and used to be
+		// invisible here (only Stmt-kind nodes were checked).
+		for _, root := range n.ProbeNodes() {
+			for _, ce := range constraints {
+				if exprOccursIn(ce, root, metas, st.file, mt.Env) {
+					return true
+				}
 			}
 		}
 		return false
@@ -81,6 +85,50 @@ func dotsConstraints(p *smpl.Pattern) []cast.Expr {
 		}
 	}
 	return out
+}
+
+// quantifiedDots reports where `when strict`/`when forall` dots appear in
+// the pattern: as top-level statement elements (decidable by the CFG path
+// engine) or nested anywhere else (inside anchors, compounds, expressions
+// — positions where matching is syntactic and the quantifier cannot be
+// decided).
+func quantifiedDots(p *smpl.Pattern) (topLevel, nested bool) {
+	if p == nil {
+		return false, false
+	}
+	top := map[*cast.Dots]bool{}
+	if p.Kind == smpl.StmtSeqPattern {
+		for _, s := range p.Stmts {
+			if d, ok := s.(*cast.Dots); ok {
+				top[d] = true
+			}
+		}
+	}
+	visit := func(n cast.Node) bool {
+		d, ok := n.(*cast.Dots)
+		if !ok || (!d.WhenStrict && !d.WhenForall) {
+			return true
+		}
+		if top[d] {
+			topLevel = true
+		} else {
+			nested = true
+		}
+		return true
+	}
+	switch p.Kind {
+	case smpl.ExprPattern:
+		cast.Walk(p.Expr, visit)
+	case smpl.StmtSeqPattern:
+		for _, s := range p.Stmts {
+			cast.Walk(s, visit)
+		}
+	case smpl.DeclPattern:
+		for _, d := range p.Decls {
+			cast.Walk(d, visit)
+		}
+	}
+	return topLevel, nested
 }
 
 // enclosingFunc finds the function whose token span contains tok.

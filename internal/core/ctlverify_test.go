@@ -5,9 +5,12 @@ import (
 	"testing"
 )
 
-// The CTL backend is path-sensitive where the syntactic dots check is
-// statement-list-sensitive: a forbidden statement inside only one branch of
-// an if still leaves a clean path, so the match survives under CTL.
+// Path sensitivity: a forbidden statement inside only one branch of an if
+// still leaves a clean path. The CFG dots engine (the default) matches
+// along that clean path; the legacy sequence matcher rejects, because the
+// skipped if-statement's subtree contains the forbidden call — and the CTL
+// post-filter only ever tightens the sequence matcher, so it stays
+// rejected there too.
 func TestCTLDotsBranchSensitivity(t *testing.T) {
 	patch := `@r@
 @@
@@ -22,16 +25,18 @@ func TestCTLDotsBranchSensitivity(t *testing.T) {
 	unlock();
 }
 `
-	// Syntactic check: touch() occurs among the skipped statements' subtree
-	// (the if statement contains it), so the sequence matcher rejects.
-	res, _ := runWith(t, patch, src, Options{})
-	if res.Matched["r"] {
-		t.Error("syntactic dots check should reject: skipped if-statement contains touch()")
+	res, out := runWith(t, patch, src, Options{})
+	if !res.Matched["r"] {
+		t.Error("CFG dots engine should match along the touch()-free else path")
 	}
-	// CTL check alone would accept (the else path avoids touch()), but the
-	// engine applies CTL as an additional filter on top of the syntactic
-	// match, so the result stays rejected — and, crucially, does not crash.
-	res, _ = runWith(t, patch, src, Options{UseCTL: true})
+	if !strings.Contains(out, "scoped_guard();") || strings.Contains(out, "unlock();") {
+		t.Errorf("transform not applied along the clean path:\n%s", out)
+	}
+	res, _ = runWith(t, patch, src, Options{SeqDots: true})
+	if res.Matched["r"] {
+		t.Error("sequence matcher should reject: skipped if-statement contains touch()")
+	}
+	res, _ = runWith(t, patch, src, Options{SeqDots: true, UseCTL: true})
 	if res.Matched["r"] {
 		t.Error("CTL filter must not loosen the syntactic pre-filter")
 	}

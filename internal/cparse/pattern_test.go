@@ -49,6 +49,57 @@ func TestPatternWhenAny(t *testing.T) {
 	}
 }
 
+// The full `when` variant set parses onto the Dots node.
+func TestPatternWhenFamily(t *testing.T) {
+	get := func(t *testing.T, body string) *cast.Dots {
+		t.Helper()
+		stmts, _, err := ParseStmts(body, Options{Meta: patTable()})
+		if err != nil {
+			t.Fatalf("%q: %v", body, err)
+		}
+		d, ok := stmts[1].(*cast.Dots)
+		if !ok {
+			t.Fatalf("%q: middle is %T", body, stmts[1])
+		}
+		return d
+	}
+	if d := get(t, "a();\n... when strict\nb();"); !d.WhenStrict {
+		t.Error("when strict lost")
+	}
+	if d := get(t, "a();\n... when exists\nb();"); !d.WhenExists {
+		t.Error("when exists lost")
+	}
+	if d := get(t, "a();\n... when forall\nb();"); !d.WhenForall {
+		t.Error("when forall lost")
+	}
+	if d := get(t, "a();\n... when == log(E)\nb();"); len(d.WhenOnly) != 1 {
+		t.Errorf("when ==: WhenOnly=%d want 1", len(d.WhenOnly))
+	}
+	d := get(t, "a();\n... when strict when != bad(E) when == log(E)\nb();")
+	if !d.WhenStrict || len(d.WhenNot) != 1 || len(d.WhenOnly) != 1 {
+		t.Errorf("combined whens lost: %+v", d)
+	}
+}
+
+// Contradictory `when` combinations are parse errors, pinned here: `when
+// any` used to silently swallow `when != e` constraints on the same dots.
+func TestPatternWhenConflicts(t *testing.T) {
+	bad := []string{
+		"a();\n... when any when != bad(E)\nb();",
+		"a();\n... when != bad(E) when any\nb();",
+		"a();\n... when any when == log(E)\nb();",
+		"a();\n... when any when strict\nb();",
+		"a();\n... when exists when forall\nb();",
+		"a();\n... when strict when exists\nb();",
+		"a();\n... when sometimes\nb();",
+	}
+	for _, body := range bad {
+		if _, _, err := ParseStmts(body, Options{Meta: patTable()}); err == nil {
+			t.Errorf("%q: want parse error, got none", body)
+		}
+	}
+}
+
 func TestPatternEscapedStmtGroup(t *testing.T) {
 	stmts, _, err := ParseStmts(`\( S \| S2 \)`, Options{Meta: patTable()})
 	if err != nil {

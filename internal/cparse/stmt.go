@@ -230,7 +230,10 @@ func (p *parser) patternStmtEnd() bool {
 	return false
 }
 
-// parseDots parses "..." in statement position plus any "when" constraints.
+// parseDots parses "..." in statement position plus any "when" constraints:
+// `when != e`, `when == e`, `when any`, `when strict`, `when exists`,
+// `when forall`. Contradictory combinations are rejected here so the
+// matcher never sees them.
 func (p *parser) parseDots() (cast.Stmt, error) {
 	start := p.pos
 	p.next() // ...
@@ -245,14 +248,34 @@ func (p *parser) parseDots() (cast.Stmt, error) {
 				return nil, err
 			}
 			d.WhenNot = append(d.WhenNot, e)
+		case p.is("=="):
+			p.next()
+			e, err := p.parseExpr(precAssign)
+			if err != nil {
+				return nil, err
+			}
+			d.WhenOnly = append(d.WhenOnly, e)
 		case p.isIdent("any"):
 			p.next()
 			d.WhenAny = true
 		case p.isIdent("strict"):
 			p.next()
+			d.WhenStrict = true
+		case p.isIdent("exists"):
+			p.next()
+			d.WhenExists = true
+		case p.isIdent("forall"):
+			p.next()
+			d.WhenForall = true
 		default:
 			return nil, p.errHere("unsupported when constraint")
 		}
+	}
+	if d.WhenAny && (len(d.WhenNot) > 0 || len(d.WhenOnly) > 0 || d.WhenStrict || d.WhenForall) {
+		return nil, p.errHere("`when any` contradicts other when constraints on the same dots")
+	}
+	if d.WhenExists && (d.WhenStrict || d.WhenForall) {
+		return nil, p.errHere("`when exists` contradicts `when strict`/`when forall` on the same dots")
 	}
 	setSpan(d, start, p.prev())
 	return d, nil

@@ -294,9 +294,14 @@ func (x *extractor) stmt(s cast.Stmt) {
 		for _, op := range st.Operands {
 			x.stmt(op)
 		}
-		// MetaStmt and Dots match anything; when-constraints on Dots are
-		// *forbidden* content and must not be required. Break, Continue and
-		// Empty carry no identifiers. nil falls through harmlessly.
+	case *cast.Dots:
+		// Dots match any path, so none of the `when` family may contribute
+		// required atoms: `when != e` is *forbidden* content (requiring it
+		// would skip exactly the files that can match), and `when == e`,
+		// `when any`, and the strict/exists/forall quantifiers constrain
+		// only what an arbitrarily-empty gap may contain. MetaStmt also
+		// matches anything; Break, Continue and Empty carry no identifiers.
+		// nil falls through harmlessly.
 	}
 }
 

@@ -158,6 +158,28 @@ lock_release();
 	}
 }
 
+// The full `when` family stays out of the required atoms: `when == e`
+// content may be absent (the gap can be empty), and the quantifier
+// keywords are not code words at all. The path engine widening dots to CFG
+// traversals does not change what a file must contain to match.
+func TestAtomsWhenFamilyNotRequired(t *testing.T) {
+	atoms := ruleAtoms(t, `@r@
+expression E;
+@@
+lock_acquire();
+... when strict when != forbidden_call(E) when == permitted_call(E)
+lock_release();
+`)
+	if !hasAtom(atoms, "lock_acquire") || !hasAtom(atoms, "lock_release") {
+		t.Errorf("atoms = %v, want lock_acquire and lock_release", atoms)
+	}
+	for _, w := range []string{"forbidden_call", "permitted_call", "when", "strict"} {
+		if hasAtom(atoms, w) {
+			t.Errorf("atoms = %v: %q must not be required", atoms, w)
+		}
+	}
+}
+
 func TestAtomsDisjunctionIntersection(t *testing.T) {
 	atoms := ruleAtoms(t, `@r@
 expression E;

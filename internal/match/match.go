@@ -9,6 +9,7 @@ import (
 	"strings"
 
 	"repro/internal/cast"
+	"repro/internal/cfg"
 	"repro/internal/ctoken"
 	"repro/internal/smpl"
 )
@@ -70,6 +71,12 @@ type Matcher struct {
 	Inherited Env
 	// MaxMatches caps the result list (0 = unlimited).
 	MaxMatches int
+	// CFGs, when non-nil, provides per-function control-flow graphs and
+	// enables the path-sensitive dots engine (cfgmatch.go) for eligible
+	// statement patterns. The engine caches graphs behind this hook so one
+	// build serves every rule, environment, and match on the file. Nil
+	// falls back to the syntactic sequence matcher.
+	CFGs func(*cast.FuncDef) *cfg.Graph
 }
 
 // ctx is the per-attempt mutable state with undo support.
@@ -253,6 +260,10 @@ func (m *Matcher) FindAll() []Match {
 			}
 		}
 	case smpl.StmtSeqPattern:
+		if m.CFGs != nil && CFGEligible(m.Pat, m.Metas) {
+			m.findCFG(add)
+			return dedupMatches(out)
+		}
 		for _, seq := range stmtContexts(m.Code) {
 			for start := 0; start <= len(seq); start++ {
 				c := m.newCtx()

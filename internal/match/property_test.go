@@ -2,6 +2,7 @@ package match
 
 import (
 	"fmt"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -36,6 +37,89 @@ func TestQuickFindAllDeterministic(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
+	}
+}
+
+// straightLine generates a flat function body — calls, assignments and
+// declarations only, no branches or loops — the domain on which the CFG
+// path engine and the syntactic sequence matcher must agree exactly.
+func straightLine(seed int64, funcs int) string {
+	r := rand.New(rand.NewSource(seed))
+	var sb []byte
+	app := func(s string) { sb = append(sb, s...) }
+	for f := 0; f < funcs; f++ {
+		app(fmt.Sprintf("void straight_%d(int n, double *a) {\n", f))
+		stmts := r.Intn(8) + 2
+		for s := 0; s < stmts; s++ {
+			switch r.Intn(5) {
+			case 0:
+				app(fmt.Sprintf("\tlock(a[%d]);\n", r.Intn(4)))
+			case 1:
+				app(fmt.Sprintf("\twork(n, %d);\n", r.Intn(9)))
+			case 2:
+				app(fmt.Sprintf("\tdouble t%d = a[%d] * n;\n", s, r.Intn(4)))
+			case 3:
+				app(fmt.Sprintf("\tunlock(a[%d]);\n", r.Intn(4)))
+			case 4:
+				app(fmt.Sprintf("\ttouch();\n"))
+			}
+		}
+		app("}\n\n")
+	}
+	return string(sb)
+}
+
+// Property: on straight-line code the CFG path engine reproduces the
+// sequence matcher exactly — same matches, same order, same environments,
+// same correspondence records — for anchored, leading-dots, constrained,
+// and multi-gap patterns.
+func TestQuickSeqCFGParity(t *testing.T) {
+	patches := []string{
+		"@r@\nexpression E;\n@@\nlock(E);\n... when != touch()\nunlock(E);\n",
+		"@r@\nexpression E;\n@@\n... when != work(E, 3)\nunlock(E);\n",
+		"@r@\nexpression E;\nexpression F;\n@@\nlock(E);\n...\nwork(n, F);\n...\nunlock(E);\n",
+		"@r@\n@@\nlock(a[1]);\n...\n",
+		"@r@\nexpression E;\n@@\nstart();\n... when == touch()\nunlock(E);\n",
+	}
+	for pi, patchText := range patches {
+		p, err := smpl.ParsePatch("p.cocci", patchText)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prop := func(seed int64, funcs uint8) bool {
+			src := straightLine(seed, int(funcs%3)+1)
+			f, err := cparse.Parse("q.c", src, cparse.Options{})
+			if err != nil {
+				return false
+			}
+			sig := func(useCFG bool) string {
+				m := &Matcher{Pat: p.Rules[0].Pattern, Metas: smpl.NewMetaTable(p.Rules[0].Metas), Code: f}
+				if useCFG {
+					withCFG(m)
+				}
+				out := ""
+				for _, mt := range m.FindAll() {
+					out += fmt.Sprintf("[%d-%d", mt.First, mt.Last)
+					for _, pr := range mt.Corr {
+						if pr.CL < pr.CF {
+							continue // empty gaps compare equal regardless of anchor
+						}
+						out += fmt.Sprintf(";%d:%d=%d:%d", pr.PF, pr.PL, pr.CF, pr.CL)
+					}
+					out += fmt.Sprintf("|%s]", mt.Env["E"].Norm)
+				}
+				return out
+			}
+			seq, cfgSig := sig(false), sig(true)
+			if seq != cfgSig {
+				t.Logf("patch %d seed %d:\nseq: %s\ncfg: %s\nsrc:\n%s", pi, seed, seq, cfgSig, src)
+				return false
+			}
+			return true
+		}
+		if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+			t.Errorf("patch %d: %v", pi, err)
+		}
 	}
 }
 

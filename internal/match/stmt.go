@@ -478,9 +478,15 @@ func (c *ctx) stmtSeq(pats []cast.Stmt, items []cast.Stmt, exact bool) (bool, in
 	return true, n + 1
 }
 
-// dotsAllows checks `when != e` constraints against a skipped statement.
+// dotsAllows checks the dots' `when` constraints against a skipped
+// statement: no `when != e` expression may occur anywhere in its subtree
+// (cast.Exprs walks nested compound bodies, so content hidden inside a
+// skipped if/while/block is checked too), and under `when == e` the
+// statement must itself be one of the permitted expression forms. The
+// parser guarantees `when any` never carries other constraints, so it
+// cannot silently mask them here.
 func (c *ctx) dotsAllows(d *cast.Dots, skipped cast.Stmt) bool {
-	if d.WhenAny || len(d.WhenNot) == 0 {
+	if d.WhenAny {
 		return true
 	}
 	for _, forbidden := range d.WhenNot {
@@ -490,6 +496,19 @@ func (c *ctx) dotsAllows(d *cast.Dots, skipped cast.Stmt) bool {
 				return false
 			}
 		}
+	}
+	if len(d.WhenOnly) > 0 {
+		es, ok := skipped.(*cast.ExprStmt)
+		if !ok {
+			return false
+		}
+		for _, only := range d.WhenOnly {
+			probe := &ctx{m: c.m, env: c.env.Clone()}
+			if probe.expr(only, es.X) {
+				return true
+			}
+		}
+		return false
 	}
 	return true
 }

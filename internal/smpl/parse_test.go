@@ -300,3 +300,15 @@ func TestBadPatchErrors(t *testing.T) {
 		}
 	}
 }
+
+// A contradictory `when` combination is reported as such, not as the
+// expression fallback's generic "trailing tokens" error.
+func TestWhenConflictErrorSurfaces(t *testing.T) {
+	_, err := ParsePatch("w.cocci", "@r@\n@@\na();\n... when any when != bad()\nb();\n")
+	if err == nil {
+		t.Fatal("want parse error")
+	}
+	if !strings.Contains(err.Error(), "`when any` contradicts") {
+		t.Errorf("error does not explain the when conflict: %v", err)
+	}
+}

@@ -88,7 +88,8 @@ func CompileBody(file string, r *Rule) (*Pattern, error) {
 		pat.Decls = f.Decls
 		return pat, nil
 	}
-	if stmts, serr := cparse.ParseStmtsTokens(lf, opts); serr == nil && len(stmts) > 0 {
+	stmts, serr := cparse.ParseStmtsTokens(lf, opts)
+	if serr == nil && len(stmts) > 0 {
 		// A single expression statement without a terminating semicolon is
 		// an expression pattern (Coccinelle distinguishes by the ';').
 		// Likewise a disjunction whose branches are all bare expressions.
@@ -99,17 +100,59 @@ func CompileBody(file string, r *Rule) (*Pattern, error) {
 				return pat, nil
 			}
 		}
+		if hasAdjacentDots(stmts) {
+			return nil, &SyntaxError{File: file, Msg: "rule " + r.Name +
+				": adjacent `...` in statement position; merge them into one dots (and one set of `when` constraints)"}
+		}
 		pat.Kind = StmtSeqPattern
 		pat.Stmts = stmts
 		return pat, nil
 	}
 	e, eerr := cparse.ParseExprTokens(lf, opts)
 	if eerr != nil {
-		return nil, &SyntaxError{File: file, Msg: "cannot parse body of rule " + r.Name + ": " + eerr.Error()}
+		msg := "cannot parse body of rule " + r.Name + ": " + eerr.Error()
+		// The expression fallback's error is useless for statement-shaped
+		// bodies; a `...` line means the author wrote a statement pattern,
+		// so surface what the statement parser rejected (e.g. a
+		// contradictory `when` combination) instead.
+		if serr != nil && strings.Contains(r.Body, "...") {
+			msg = "cannot parse body of rule " + r.Name + ": " + serr.Error()
+		}
+		return nil, &SyntaxError{File: file, Msg: msg}
 	}
 	pat.Kind = ExprPattern
 	pat.Expr = e
 	return pat, nil
+}
+
+// hasAdjacentDots reports consecutive statement dots in the pattern, at
+// the top level or inside any compound: two `...` in a row have no defined
+// meaning (which constraints govern the combined gap?), so the pattern is
+// rejected rather than letting the engines guess differently.
+func hasAdjacentDots(stmts []cast.Stmt) bool {
+	adjacent := func(items []cast.Stmt) bool {
+		for i := 1; i < len(items); i++ {
+			_, a := items[i-1].(*cast.Dots)
+			_, b := items[i].(*cast.Dots)
+			if a && b {
+				return true
+			}
+		}
+		return false
+	}
+	if adjacent(stmts) {
+		return true
+	}
+	found := false
+	for _, s := range stmts {
+		cast.Walk(s, func(n cast.Node) bool {
+			if c, ok := n.(*cast.Compound); ok && adjacent(c.Items) {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
 }
 
 // stripPlus removes the leading '+' and at most one following space,

@@ -50,6 +50,7 @@ func main() {
 	seqDots := flag.Bool("seq-dots", false, "match statement dots with the legacy syntactic sequence matcher instead of the CFG path engine")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker-pool size per request")
 	noPrefilter := flag.Bool("no-prefilter", false, "parse every file, even those a patch provably cannot touch")
+	noFnCache := flag.Bool("no-fn-cache", false, "disable function-granular matching and caching; eligible patches match whole files instead of per-function segments")
 	cacheDir := flag.String("cache-dir", "", "disk cache behind the in-memory layer; a restarted daemon comes back warm")
 	watch := flag.Duration("watch", 2*time.Second, "poll-watcher interval for change-driven invalidation; 0 disables")
 	astCache := flag.Int("ast-cache", 256, "resident parse-tree LRU size (trees)")
@@ -86,7 +87,7 @@ func main() {
 	}
 	opts := sempatch.Options{
 		CPlusPlus: *cxx > 0, Std: *cxx, CUDA: *cuda, UseCTL: *useCTL, SeqDots: *seqDots,
-		Defines: defines, Workers: *workers, NoPrefilter: *noPrefilter,
+		Defines: defines, Workers: *workers, NoPrefilter: *noPrefilter, NoFuncCache: *noFnCache,
 	}
 
 	srv := sempatch.NewServer(opts)

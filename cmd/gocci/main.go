@@ -58,6 +58,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print a files/matches/changes summary to stderr")
 	noPrefilter := flag.Bool("no-prefilter", false, "parse every file in recursive mode, even those the patch provably cannot touch")
 	cacheDir := flag.String("cache-dir", "", "persistent corpus-index directory for recursive mode; re-runs over unchanged files replay cached results")
+	noFnCache := flag.Bool("no-fn-cache", false, "disable function-granular matching and caching; eligible patches match whole files instead of per-function segments")
 	var defines defineList
 	flag.Var(&defines, "D", "define a virtual dependency name (repeatable)")
 	flag.Parse()
@@ -101,7 +102,7 @@ func main() {
 	opts := sempatch.Options{
 		CPlusPlus: *cxx > 0, Std: *cxx, CUDA: *cuda, UseCTL: *useCTL, SeqDots: *seqDots,
 		Defines: defines, Workers: *workers, NoPrefilter: *noPrefilter,
-		CacheDir: *cacheDir,
+		CacheDir: *cacheDir, NoFuncCache: *noFnCache,
 	}
 
 	g := &gocci{inPlace: *inPlace, quiet: *quiet, ruleMatches: make([]map[string]int, len(patches))}
@@ -138,12 +139,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gocci: %d files scanned, %d changed, %d errors in %v\n",
 				g.cst.Files, g.cst.Changed, g.cst.Errors, elapsed.Round(time.Millisecond))
 			for _, ps := range g.cst.PerPatch {
-				fmt.Fprintf(os.Stderr, "gocci:   patch %s: %d skipped by prefilter, %d cached, %d matched (%d matches), %d changed\n",
-					ps.Patch, ps.Skipped, ps.Cached, ps.Matched, ps.Matches, ps.Changed)
+				fmt.Fprintf(os.Stderr, "gocci:   patch %s: %d skipped by prefilter, %d cached, %d matched (%d matches), %d changed, %d functions matched, %d functions cached\n",
+					ps.Patch, ps.Skipped, ps.Cached, ps.Matched, ps.Matches, ps.Changed, ps.FuncsMatched, ps.FuncsCached)
 			}
 		case *recurse:
-			fmt.Fprintf(os.Stderr, "gocci: %d files scanned, %d skipped by prefilter, %d cached, %d matched (%d matches), %d changed, %d errors in %v\n",
-				g.st.Files, g.st.Skipped, g.st.Cached, g.st.Matched, g.st.Matches, g.st.Changed, g.st.Errors, elapsed.Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "gocci: %d files scanned, %d skipped by prefilter, %d cached, %d matched (%d matches), %d changed, %d errors, %d functions matched, %d functions cached in %v\n",
+				g.st.Files, g.st.Skipped, g.st.Cached, g.st.Matched, g.st.Matches, g.st.Changed, g.st.Errors, g.st.FuncsMatched, g.st.FuncsCached, elapsed.Round(time.Millisecond))
 		default:
 			// One engine run over all files: matches are not attributed
 			// per file, so no per-file "matched" count is reported.

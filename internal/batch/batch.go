@@ -24,7 +24,9 @@ import (
 	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/cast"
 	"repro/internal/core"
+	"repro/internal/cparse"
 	"repro/internal/diff"
 	"repro/internal/index"
 	"repro/internal/smpl"
@@ -62,6 +64,12 @@ type Options struct {
 	// The Cache() status surface only covers caches opened from CacheDir; a
 	// caller supplying its own Store reports its own status.
 	Store cache.Store
+	// NoFuncCache disables function-granular processing (per-function
+	// result caching, prefiltering, and intra-file parallel matching) for
+	// patches that qualify (core.FunctionLocal). Outputs are identical
+	// either way; the knob exists for debugging and differential testing,
+	// so it is excluded from the result-cache fingerprint.
+	NoFuncCache bool
 }
 
 // fingerprint canonicalizes every result-affecting engine option into the
@@ -108,6 +116,13 @@ type FileResult struct {
 	// EnvsTruncated reports that this file's run hit the MaxEnvs cap and
 	// dropped matches (see core.Result.EnvsTruncated).
 	EnvsTruncated bool
+	// FuncsMatched counts this file's function segments that were matched
+	// fresh by the function-granular pipeline (0 when the file took the
+	// file-level path).
+	FuncsMatched int
+	// FuncsCached counts this file's function segments replayed from the
+	// function-granular result cache.
+	FuncsCached int
 	// Err is the per-file failure (parse error, script error); other files
 	// in the batch are unaffected.
 	Err error
@@ -134,6 +149,10 @@ type Stats struct {
 	Matches int // total rule matches across all files
 	Skipped int // files the prefilter rejected without parsing
 	Cached  int // files replayed from the persistent result cache
+	// FuncsMatched and FuncsCached count function segments matched fresh
+	// vs replayed from the function-granular cache across all files.
+	FuncsMatched int
+	FuncsCached  int
 }
 
 // Runner applies one compiled patch across file sets.
@@ -152,6 +171,9 @@ type Runner struct {
 	store     cache.Store
 	disk      *cache.Cache
 	resultKey string
+	// fn drives function-granular processing when the patch qualifies and
+	// Options.NoFuncCache is off; nil otherwise.
+	fn *fnRunner
 	// cfgErr is a patch/options mismatch caught at construction; it is
 	// reported once per run instead of once per file.
 	cfgErr error
@@ -184,6 +206,9 @@ func New(patch *smpl.Patch, opts Options) *Runner {
 	}
 	if r.store != nil {
 		r.resultKey = cache.ResultKey(patch.Src, fingerprint(opts.Engine))
+	}
+	if !opts.NoFuncCache {
+		r.fn = newFnRunner(r.compiled, opts.Engine, r.filter)
 	}
 	return r
 }
@@ -297,7 +322,7 @@ func (r *Runner) processOne(eng *core.Engine, get func(int) (core.SourceFile, er
 			MatchCount: map[string]int{}, Skipped: true,
 		}
 	} else {
-		fr = applyOne(eng, f, idx)
+		fr = r.applyFile(eng, f, idx)
 	}
 	if fileHash != "" && fr.Err == nil {
 		// Errors are never cached: a parse failure is cheap to rediscover
@@ -399,6 +424,8 @@ func (r *Runner) collect(run func(func(FileResult) bool), fn func(FileResult) er
 			if fr.Changed() {
 				st.Changed++
 			}
+			st.FuncsMatched += fr.FuncsMatched
+			st.FuncsCached += fr.FuncsCached
 		}
 		if fn != nil {
 			if err := fn(fr); err != nil {
@@ -411,6 +438,39 @@ func (r *Runner) collect(run func(func(FileResult) bool), fn func(FileResult) er
 	return st, cbErr
 }
 
+// applyFile patches one file, through the function-granular pipeline when
+// this runner has one (falling back to the file-level engine whenever a
+// file or outcome is outside its province), else directly at file level.
+func (r *Runner) applyFile(eng *core.Engine, f core.SourceFile, idx int) FileResult {
+	if r.fn == nil {
+		return applyOne(eng, f, idx)
+	}
+	parsed, err := cparse.Parse(f.Name, f.Src, cparse.Options{
+		CPlusPlus: r.opts.Engine.CPlusPlus, Std: r.opts.Engine.Std, CUDA: r.opts.Engine.CUDA,
+	})
+	if err != nil {
+		// Match the file-level path's error shape (core.Engine.Run).
+		return FileResult{Index: idx, Name: f.Name, Err: fmt.Errorf("parsing %s: %w", f.Name, err)}
+	}
+	var store cache.Store
+	key := ""
+	if r.resultCacheable() {
+		store, key = r.store, r.resultKey
+	}
+	if out, ok := r.fn.apply(eng, f.Name, f.Src, parsed, store, key); ok {
+		return FileResult{
+			Index:        idx,
+			Name:         f.Name,
+			Output:       out.Output,
+			Diff:         diff.Unified("a/"+f.Name, "b/"+f.Name, f.Src, out.Output),
+			MatchCount:   out.MatchCount,
+			FuncsMatched: out.Matched,
+			FuncsCached:  out.Cached,
+		}
+	}
+	return applyOneParsed(eng, f, parsed, idx)
+}
+
 // applyOne patches a single file on a reset engine.
 func applyOne(eng *core.Engine, f core.SourceFile, idx int) FileResult {
 	eng.Reset()
@@ -418,6 +478,20 @@ func applyOne(eng *core.Engine, f core.SourceFile, idx int) FileResult {
 	if err != nil {
 		return FileResult{Index: idx, Name: f.Name, Err: err}
 	}
+	return fileResult(idx, f, res)
+}
+
+// applyOneParsed is applyOne over an already-parsed input tree.
+func applyOneParsed(eng *core.Engine, f core.SourceFile, parsed *cast.File, idx int) FileResult {
+	eng.Reset()
+	res, err := eng.RunParsed([]core.ParsedFile{{Name: f.Name, Src: f.Src, File: parsed}})
+	if err != nil {
+		return FileResult{Index: idx, Name: f.Name, Err: err}
+	}
+	return fileResult(idx, f, res)
+}
+
+func fileResult(idx int, f core.SourceFile, res *core.Result) FileResult {
 	return FileResult{
 		Index:         idx,
 		Name:          f.Name,

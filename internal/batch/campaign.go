@@ -36,6 +36,9 @@ type campaignPatch struct {
 	engOpts core.Options
 	// key is this (patch, options) pair's result-cache key.
 	key string
+	// fn drives function-granular processing for this member when it
+	// qualifies (core.FunctionLocal); nil otherwise.
+	fn *fnRunner
 }
 
 // Campaign applies an ordered list of compiled patches across file sets.
@@ -95,6 +98,9 @@ func NewCampaign(patches []*smpl.Patch, opts Options) *Campaign {
 		if c.store != nil {
 			cp.key = cache.ResultKey(p.Src, fingerprint(cp.engOpts))
 		}
+		if !opts.NoFuncCache {
+			cp.fn = newFnRunner(cp.compiled, cp.engOpts, cp.filter)
+		}
 		c.patches = append(c.patches, cp)
 	}
 	return c
@@ -148,6 +154,11 @@ type PatchOutcome struct {
 	Cached bool
 	// EnvsTruncated reports this patch's run hit the MaxEnvs cap.
 	EnvsTruncated bool
+	// FuncsMatched and FuncsCached count this file's function segments
+	// matched fresh vs replayed by this patch's function-granular pipeline
+	// (both 0 on the file-level path).
+	FuncsMatched int
+	FuncsCached  int
 }
 
 // Matches is the total number of rule matches by this patch in the file.
@@ -197,6 +208,10 @@ type PatchStats struct {
 	Matches int    // total rule matches
 	Skipped int    // files its prefilter rejected
 	Cached  int    // files replayed from the result cache
+	// FuncsMatched and FuncsCached count function segments matched fresh
+	// vs replayed from the function-granular cache across all files.
+	FuncsMatched int
+	FuncsCached  int
 }
 
 // CampaignStats aggregates a completed campaign run.
@@ -318,6 +333,8 @@ func (c *Campaign) collectC(run func(func(CampaignFileResult) bool), fn func(Cam
 			if o.Cached {
 				ps.Cached++
 			}
+			ps.FuncsMatched += o.FuncsMatched
+			ps.FuncsCached += o.FuncsCached
 		}
 		if fn != nil {
 			if err := fn(fr); err != nil {

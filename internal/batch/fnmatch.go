@@ -1,0 +1,356 @@
+// Function-granular incremental matching. For a function-local patch (one
+// match rule, no cross-segment coupling — see core.FunctionLocal), a file is
+// cut at its top-level function definitions (cast.SegmentFile) and each
+// segment is matched independently under a window restricted to its token
+// extent. Segment outcomes are cached by content hash (cache.FuncRecord), so
+// a warm run after editing one function of a k-function file replays k-1
+// segments and re-matches exactly one; fresh segments of one file are
+// matched in parallel goroutines sharing one engine. The file-level answer
+// is spliced from the per-segment texts; a cold run cross-checks the splice
+// against a whole-file render of the merged edits before any segment record
+// is persisted, and any condition the segment pipeline cannot reproduce
+// byte-exactly (edits escaping a segment, ambiguous boundary rendering,
+// MaxEnvs truncation, misaligned segment boundaries) falls back to the
+// ordinary file-level path.
+package batch
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cache"
+	"repro/internal/cast"
+	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/match"
+	"repro/internal/transform"
+)
+
+// Package-level instrumentation, mirroring cparse.Parses: cumulative counts
+// of function segments matched fresh, replayed from the cache, and ruled
+// out by the per-function prefilter. The parity and fuzz tests read deltas
+// to assert that a warm run re-matched exactly the edited function.
+var (
+	fnMatched     atomic.Int64
+	fnReplayed    atomic.Int64
+	fnPrefiltered atomic.Int64
+)
+
+// FuncMatches returns the cumulative number of function segments matched
+// fresh by function-granular runs in this process.
+func FuncMatches() int64 { return fnMatched.Load() }
+
+// FuncReplays returns the cumulative number of function segments replayed
+// from the function-granular result cache in this process.
+func FuncReplays() int64 { return fnReplayed.Load() }
+
+// FuncPrefilters returns the cumulative number of function segments the
+// per-function prefilter ruled out without matching in this process.
+func FuncPrefilters() int64 { return fnPrefiltered.Load() }
+
+// fnRunner drives function-granular processing for one (compiled patch,
+// engine options) pair. nil when the patch is not function-local.
+type fnRunner struct {
+	compiled *core.Compiled
+	filter   *index.Filter
+	ruleName string
+	maxEnvs  int
+}
+
+// newFnRunner returns a runner when the patch and options are eligible for
+// function-granular execution, nil otherwise.
+func newFnRunner(compiled *core.Compiled, engOpts core.Options, filter *index.Filter) *fnRunner {
+	if !core.FunctionLocal(compiled, engOpts) {
+		return nil
+	}
+	maxEnvs := engOpts.MaxEnvs
+	if maxEnvs == 0 {
+		maxEnvs = 4096
+	}
+	return &fnRunner{
+		compiled: compiled,
+		filter:   filter,
+		ruleName: core.FunctionLocalRule(compiled).Name,
+		maxEnvs:  maxEnvs,
+	}
+}
+
+// fnOutcome is the file-level result assembled from per-segment outcomes.
+type fnOutcome struct {
+	Output     string
+	MatchCount map[string]int
+	Changed    bool
+	Matched    int // function segments matched fresh
+	Cached     int // function segments replayed from the cache
+}
+
+// fnHash keys a function segment's cache entry.
+func fnHash(seg *cast.FuncSeg) string {
+	return cache.HashString("fn\x00" + seg.Identity())
+}
+
+// resHash keys the residue's full-content cache entry. The function count
+// is part of the key so gap boundaries cannot alias across files whose
+// concatenated gaps happen to collide.
+func resHash(segs *cast.Segmentation) string {
+	return cache.HashString(fmt.Sprintf("res\x00%d\x00", len(segs.Funcs)) + segs.ResidueIdentity())
+}
+
+// resTokHash keys the residue's token-only cache entry: gap token texts
+// with per-token and per-gap separators, ignoring whitespace and comments.
+// A record is stored under this key only when the residue run applied no
+// edits, so replaying it after a whitespace- or comment-only edit between
+// functions is sound — matching reads only token texts, and with no edits
+// the rendered gaps are the current raw gaps.
+func resTokHash(segs *cast.Segmentation) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "restok\x00%d", len(segs.Funcs))
+	toks := segs.File.Toks.Tokens
+	for i := 0; i <= len(segs.Funcs); i++ {
+		sb.WriteByte('\x1e')
+		a, b := segs.GapBounds(i)
+		for j := a; j <= b; j++ {
+			sb.WriteByte('\x1f')
+			sb.WriteString(toks[j].Text)
+		}
+	}
+	return cache.HashString(sb.String())
+}
+
+// segState tracks one segment (index < n: function i; index n: residue)
+// through an apply call.
+type segState struct {
+	rec     *cache.FuncRecord // cached outcome, nil when fresh
+	sr      *core.SegmentResult
+	err     error
+	skipped bool // per-segment prefilter ruled matching out
+}
+
+// matches returns the segment's applied-match count from whichever source
+// resolved it.
+func (s *segState) matches() int {
+	if s.rec != nil {
+		return s.rec.Matches
+	}
+	if s.sr != nil {
+		return s.sr.Matches
+	}
+	return 0
+}
+
+// apply runs the patch function-granularly over one parsed file. ok=false
+// means the caller must fall back to the ordinary file-level path; no cache
+// record has been written for this file in that case (scan-cache priming
+// aside, which is content-keyed and always sound).
+func (r *fnRunner) apply(eng *core.Engine, name, src string, parsed *cast.File, store cache.Store, key string) (fnOutcome, bool) {
+	segs := cast.SegmentFile(parsed)
+	if segs == nil || !segs.Aligned() {
+		return fnOutcome{}, false
+	}
+	n := len(segs.Funcs)
+	states := make([]segState, n+1)
+
+	// Replay segments whose content hash is cached. The residue tries its
+	// full-content key first, then the token-only key (see resTokHash).
+	cachedFns := 0
+	if store != nil && key != "" {
+		for i := range segs.Funcs {
+			if rec, ok := store.FuncResult(key, fnHash(&segs.Funcs[i])); ok {
+				states[i].rec = rec
+				cachedFns++
+			}
+		}
+		if rec, ok := store.FuncResult(key, resHash(segs)); ok && (!rec.Changed || len(rec.Gaps) == n+1) {
+			states[n].rec = rec
+		} else if rec, ok := store.FuncResult(key, resTokHash(segs)); ok && !rec.Changed {
+			states[n].rec = rec
+		}
+	}
+
+	// Match the remaining segments in parallel on this file, sharing the
+	// engine: RunSegment only reads engine state.
+	var fresh []int
+	for i := range states {
+		if states[i].rec == nil {
+			fresh = append(fresh, i)
+		}
+	}
+	freshFns := 0
+	if len(fresh) > 0 {
+		// One candidate enumeration serves every segment's matcher; without
+		// it each RunSegment walks the whole AST again, costing k walks for
+		// a k-segment file.
+		cands := match.PrecomputeCands(parsed)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(fresh) {
+			workers = len(fresh)
+		}
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1)) - 1
+					if k >= len(fresh) {
+						return
+					}
+					i := fresh[k]
+					if r.filter != nil && !r.segMayMatch(store, segs, i) {
+						states[i].skipped = true
+						states[i].sr = &core.SegmentResult{Edits: transform.NewEditSet(parsed.Toks)}
+						if i < n {
+							fnPrefiltered.Add(1)
+						}
+						continue
+					}
+					states[i].sr, states[i].err = eng.RunSegment(core.SegmentJob{
+						Name: name, Src: src, File: parsed, Segs: segs, Fn: segIndex(i, n),
+						Cands: cands,
+					})
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	total := 0
+	for i := range states {
+		if states[i].err != nil || (states[i].sr != nil && states[i].sr.Escaped) {
+			return fnOutcome{}, false
+		}
+		total += states[i].matches()
+		if i < n && states[i].rec == nil {
+			if states[i].skipped {
+				continue
+			}
+			freshFns++
+		}
+	}
+	if total >= r.maxEnvs {
+		// A whole-file run would truncate (or sit exactly at the cap, which
+		// only it can decide); its semantics are file-level.
+		return fnOutcome{}, false
+	}
+
+	// Assemble per-segment texts. Unchanged segments are reconstructed from
+	// the current parse, so cached entries stay position-independent.
+	fnTexts := make([]string, n)
+	for i := range segs.Funcs {
+		switch {
+		case states[i].rec != nil && states[i].rec.Changed:
+			fnTexts[i] = states[i].rec.Output
+		case states[i].rec != nil || states[i].skipped:
+			fnTexts[i] = segs.Funcs[i].Raw()
+		default:
+			fnTexts[i] = states[i].sr.Text
+		}
+	}
+	gaps := make([]string, n+1)
+	for i := 0; i <= n; i++ {
+		gaps[i] = segs.GapRaw(i)
+	}
+	switch {
+	case states[n].rec != nil && states[n].rec.Changed:
+		copy(gaps, states[n].rec.Gaps)
+	case states[n].rec == nil && !states[n].skipped:
+		copy(gaps, states[n].sr.Gaps)
+	}
+	spliced := segs.Splice(gaps, fnTexts)
+
+	output := spliced
+	verified := true
+	if cachedFns == 0 && states[n].rec == nil {
+		// Fully cold: the whole-file render of the merged per-segment edits
+		// is the ground truth (it is exactly what a file-level run applies).
+		// The splice must reproduce it byte-for-byte before any segment
+		// record may be persisted and replayed into future splices.
+		merged := transform.NewEditSet(parsed.Toks)
+		for i := range states {
+			if states[i].sr != nil && states[i].sr.Edits != nil {
+				merged.Merge(states[i].sr.Edits)
+			}
+		}
+		output = src
+		if !merged.Empty() {
+			output = merged.Apply()
+		}
+		verified = spliced == output
+	}
+
+	if store != nil && key != "" && verified {
+		for i := range states {
+			if states[i].rec != nil {
+				continue
+			}
+			sr := states[i].sr
+			rec := &cache.FuncRecord{Matches: sr.Matches, Changed: sr.Changed}
+			if i < n {
+				if sr.Changed {
+					rec.Output = sr.Text
+				}
+				store.PutFuncResult(key, fnHash(&segs.Funcs[i]), rec)
+			} else {
+				if sr.Changed {
+					rec.Gaps = sr.Gaps
+				}
+				store.PutFuncResult(key, resHash(segs), rec)
+				if sr.Edits.Empty() {
+					store.PutFuncResult(key, resTokHash(segs), &cache.FuncRecord{Matches: sr.Matches})
+				}
+			}
+		}
+	}
+
+	fnMatched.Add(int64(freshFns))
+	fnReplayed.Add(int64(cachedFns))
+	mc := map[string]int{}
+	if total > 0 {
+		mc[r.ruleName] = total
+	}
+	return fnOutcome{
+		Output:     output,
+		MatchCount: mc,
+		Changed:    output != src,
+		Matched:    freshFns,
+		Cached:     cachedFns,
+	}, true
+}
+
+// segIndex maps a state slot to a SegmentJob.Fn (slot n is the residue).
+func segIndex(i, n int) int {
+	if i == n {
+		return -1
+	}
+	return i
+}
+
+// segMayMatch answers the per-segment prefilter: false guarantees no match
+// of the rule lies inside the segment, because every required atom occurs
+// within a match's own token span. Function segments answer through the
+// scan cache (one word scan per segment content hash, ever); the residue
+// scans directly.
+func (r *fnRunner) segMayMatch(store cache.Store, segs *cast.Segmentation, i int) bool {
+	if i < len(segs.Funcs) {
+		text := segs.Funcs[i].Text
+		if store == nil {
+			return r.filter.MayMatch(text)
+		}
+		h := cache.HashString(text)
+		words, ok := store.Words(h)
+		if !ok {
+			words = index.ScanWords(text)
+			store.PutWords(h, words)
+		}
+		return r.filter.MayMatchWords(words)
+	}
+	var sb strings.Builder
+	for g := 0; g <= len(segs.Funcs); g++ {
+		sb.WriteString(segs.GapRaw(g))
+	}
+	return r.filter.MayMatch(sb.String())
+}

@@ -208,6 +208,31 @@ func (c *Campaign) processState(engines []*core.Engine, popts cparse.Options, st
 				st.Parsed, st.ParsedInput = cf, true
 			}
 		}
+		if cp.fn != nil {
+			var fnStore cache.Store
+			fnKey := ""
+			if c.resultCacheable() {
+				fnStore, fnKey = c.store, cp.key
+			}
+			if out, ok := cp.fn.apply(engines[i], st.Name, cur, parsed, fnStore, fnKey); ok {
+				o.MatchCount = out.MatchCount
+				o.Changed = out.Changed
+				o.FuncsMatched = out.Matched
+				o.FuncsCached = out.Cached
+				rec := &cache.Record{MatchCount: out.MatchCount}
+				if out.Changed {
+					rec.Changed = true
+					rec.Output = out.Output
+				}
+				c.put(cp, curHash, rec)
+				if out.Changed {
+					cur, curLoaded, curIsInput = out.Output, true, false
+					curHash, words, parsed = "", nil, nil
+				}
+				fr.Patches = append(fr.Patches, o)
+				continue
+			}
+		}
 		eng := engines[i]
 		eng.Reset()
 		res, err := eng.RunParsed([]core.ParsedFile{{Name: st.Name, Src: cur, File: parsed}})

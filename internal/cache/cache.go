@@ -11,7 +11,12 @@
 //     to the outcome of applying that patch to that file — match counts,
 //     whether it changed, and the transformed text when it did — so a warm
 //     re-run over an unchanged corpus skips scanning, parsing, matching,
-//     and transforming entirely.
+//     and transforming entirely;
+//   - a *function-granular result cache* mapping (patch hash, effective
+//     options, function hash) to the outcome of matching one function
+//     segment (or a file's inter-function residue), so editing one function
+//     of a file re-matches only that function — the file-level answer is
+//     spliced from the cached segments (internal/batch).
 //
 // Invalidation is purely by content hash: editing a file changes its hash,
 // so stale entries are never consulted — they simply become garbage that a
@@ -85,8 +90,8 @@ func Open(dir string) (*Cache, error) {
 	default:
 		return nil, fmt.Errorf("cache: %w", err)
 	}
-	// (Re)initialize: clear the two entry trees and write the marker.
-	for _, sub := range []string{"scan", "res"} {
+	// (Re)initialize: clear the entry trees and write the marker.
+	for _, sub := range []string{"scan", "res", "fn"} {
 		if err := os.RemoveAll(filepath.Join(dir, sub)); err != nil {
 			return nil, fmt.Errorf("cache: %w", err)
 		}
@@ -133,6 +138,13 @@ func (c *Cache) scanPath(fileHash string) string {
 // per patch, sharded by file hash inside it.
 func (c *Cache) resPath(key, fileHash string) string {
 	return filepath.Join(c.dir, "res", key, fileHash[:2], fileHash+".json")
+}
+
+// fnPath groups function-granular result entries per (patch, options) key,
+// sharded by function hash — a tree parallel to res/ so file manifests and
+// function segments can never collide or overwrite each other.
+func (c *Cache) fnPath(key, fnHash string) string {
+	return filepath.Join(c.dir, "fn", key, fnHash[:2], fnHash+".json")
 }
 
 // scanEntry is the on-disk form of one scan-cache entry.
@@ -204,6 +216,57 @@ func (c *Cache) PutResult(key, fileHash string, r *Record) error {
 		r.Sum = HashString(r.Output)
 	}
 	return c.store(c.resPath(key, fileHash), r)
+}
+
+// FuncRecord is one cached per-segment outcome: the result of matching one
+// function (or one file's inter-function residue) under a (patch, options)
+// key. It is position-independent — nothing in it depends on where the
+// segment sits in its file or on any other segment's content — which is
+// what lets a record survive reordering functions or editing a sibling.
+type FuncRecord struct {
+	// Matches counts applied matches inside the segment.
+	Matches int `json:"matches,omitempty"`
+	// Changed reports the segment's rendered text differs from its source;
+	// the caller reconstructs unchanged segments from the current parse, so
+	// Output/Gaps are stored only when Changed.
+	Changed bool `json:"changed,omitempty"`
+	// Output is the transformed segment text (function entries).
+	Output string `json:"output,omitempty"`
+	// Gaps are the transformed gap texts (residue entries).
+	Gaps []string `json:"gaps,omitempty"`
+	// Sum is the content hash of Output (or of the joined Gaps).
+	Sum string `json:"sum,omitempty"`
+}
+
+// payload is the checksummed content of a changed record.
+func (r *FuncRecord) payload() string {
+	if r.Gaps != nil {
+		return strings.Join(r.Gaps, "\x00")
+	}
+	return r.Output
+}
+
+// FuncResult returns the cached outcome of matching (key) against one
+// function segment (or residue) by its content hash.
+func (c *Cache) FuncResult(key, fnHash string) (*FuncRecord, bool) {
+	path := c.fnPath(key, fnHash)
+	var r FuncRecord
+	if !c.load(path, &r) {
+		return nil, false
+	}
+	if r.Changed && HashString(r.payload()) != r.Sum {
+		c.drop(path)
+		return nil, false
+	}
+	return &r, true
+}
+
+// PutFuncResult stores one per-segment outcome.
+func (c *Cache) PutFuncResult(key, fnHash string, r *FuncRecord) error {
+	if r.Changed {
+		r.Sum = HashString(r.payload())
+	}
+	return c.store(c.fnPath(key, fnHash), r)
 }
 
 // load reads and decodes one entry, dropping it on any validation failure.

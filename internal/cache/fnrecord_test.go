@@ -1,0 +1,135 @@
+package cache
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFuncRecordRoundtrip(t *testing.T) {
+	c, err := Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ResultKey("patch", "fp")
+
+	// A changed function segment carries its transformed text.
+	fh := HashString("fn\x00int f(void)\n{\n\told(1);\n}\n")
+	if err := c.PutFuncResult(key, fh, &FuncRecord{Matches: 1, Changed: true, Output: "int f(void)\n{\n\tnew(1);\n}\n"}); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := c.FuncResult(key, fh)
+	if !ok || rec.Matches != 1 || !rec.Changed || !strings.Contains(rec.Output, "new(1)") {
+		t.Fatalf("function record round trip: %+v %v", rec, ok)
+	}
+
+	// A changed residue carries its gap texts; the checksum covers the join.
+	rh := HashString("res\x002\x00gaps")
+	if err := c.PutFuncResult(key, rh, &FuncRecord{Matches: 1, Changed: true, Gaps: []string{"/* a */\n", "\n", ""}}); err != nil {
+		t.Fatal(err)
+	}
+	rec, ok = c.FuncResult(key, rh)
+	if !ok || len(rec.Gaps) != 3 || rec.Gaps[0] != "/* a */\n" {
+		t.Fatalf("residue record round trip: %+v %v", rec, ok)
+	}
+
+	// A pure (unchanged) record stores no payload and needs no checksum.
+	ph := HashString("fn\x00int g(void)\n{\n}\n")
+	if err := c.PutFuncResult(key, ph, &FuncRecord{}); err != nil {
+		t.Fatal(err)
+	}
+	if rec, ok := c.FuncResult(key, ph); !ok || rec.Changed || rec.Matches != 0 {
+		t.Fatalf("pure record round trip: %+v %v", rec, ok)
+	}
+
+	// A different (patch, options) key shares nothing.
+	if _, ok := c.FuncResult(ResultKey("other", "fp"), fh); ok {
+		t.Error("record leaked across result keys")
+	}
+}
+
+// TestFuncRecordTamperDropped pins the corruption contract for segment
+// entries: a record whose payload no longer matches its checksum is deleted,
+// counted, and never replayed.
+func TestFuncRecordTamperDropped(t *testing.T) {
+	c, err := Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ResultKey("patch", "fp")
+	fh := HashString("segment")
+	if err := c.PutFuncResult(key, fh, &FuncRecord{Matches: 1, Changed: true, Output: "good text"}); err != nil {
+		t.Fatal(err)
+	}
+
+	path := c.fnPath(key, fh)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(strings.Replace(string(b), "good", "evil", 1)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if rec, ok := c.FuncResult(key, fh); ok {
+		t.Fatalf("tampered record replayed: %+v", rec)
+	}
+	if n := c.CorruptEntries(); n != 1 {
+		t.Errorf("corrupt entries = %d, want 1", n)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("tampered entry left on disk")
+	}
+
+	// The caller re-derives and rewrites; the cache heals.
+	if err := c.PutFuncResult(key, fh, &FuncRecord{Matches: 1, Changed: true, Output: "good text"}); err != nil {
+		t.Fatal(err)
+	}
+	if rec, ok := c.FuncResult(key, fh); !ok || rec.Output != "good text" {
+		t.Fatalf("healed record unreadable: %+v %v", rec, ok)
+	}
+}
+
+// TestMemoryFuncEntriesDistinct pins the LRU keying discipline the
+// function-granular layer depends on: a segment record stored under the same
+// (key, hash) pair as a file-level manifest occupies its own entry — it can
+// never displace or be mistaken for the manifest — and both write through to
+// disk and fall back from it after Invalidate.
+func TestMemoryFuncEntriesDistinct(t *testing.T) {
+	disk, err := Open(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMemory(disk, 16)
+	key := ResultKey("patch", "fp")
+	h := HashString("same content hash")
+
+	m.PutResult(key, h, &Record{Changed: true, Output: "file manifest"})
+	m.PutFuncResult(key, h, &FuncRecord{Changed: true, Output: "segment text"})
+
+	if m.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (manifest and segment must not share an entry)", m.Len())
+	}
+	rec, ok := m.Result(key, h)
+	if !ok || rec.Output != "file manifest" {
+		t.Fatalf("file manifest clobbered by segment write: %+v %v", rec, ok)
+	}
+	frec, ok := m.FuncResult(key, h)
+	if !ok || frec.Output != "segment text" {
+		t.Fatalf("segment record clobbered by manifest write: %+v %v", frec, ok)
+	}
+
+	// Both kinds wrote through: a cleared RAM layer answers from disk.
+	m.Invalidate()
+	if rec, ok := m.Result(key, h); !ok || rec.Output != "file manifest" {
+		t.Fatalf("manifest lost after invalidate: %+v %v", rec, ok)
+	}
+	if frec, ok := m.FuncResult(key, h); !ok || frec.Output != "segment text" {
+		t.Fatalf("segment record lost after invalidate: %+v %v", frec, ok)
+	}
+	// And the fall-through primed RAM again.
+	if m.Len() != 2 {
+		t.Errorf("fall-through primed %d entries, want 2", m.Len())
+	}
+}

@@ -7,14 +7,18 @@
 package cache
 
 // Store is the lookup surface the batch engine caches through: the scan
-// layer (content hash → identifier-word set) and the result layer
-// ((patch+options key, content hash) → outcome). *Cache implements it on
-// disk; *Memory implements it in RAM with optional disk write-through.
+// layer (content hash → identifier-word set), the result layer
+// ((patch+options key, content hash) → outcome), and the function-granular
+// result layer ((patch+options key, segment hash) → per-segment outcome).
+// *Cache implements it on disk; *Memory implements it in RAM with optional
+// disk write-through.
 type Store interface {
 	Words(fileHash string) (map[string]bool, bool)
 	PutWords(fileHash string, words map[string]bool) error
 	Result(key, fileHash string) (*Record, bool)
 	PutResult(key, fileHash string, r *Record) error
+	FuncResult(key, fnHash string) (*FuncRecord, bool)
+	PutFuncResult(key, fnHash string, r *FuncRecord) error
 }
 
 var (
@@ -33,10 +37,14 @@ type Memory struct {
 	lru  *LRU[*memEntry]
 }
 
-// memEntry is one resident cache entry; exactly one of words/rec is set.
+// memEntry is one resident cache entry; exactly one of words/rec/frec is
+// set. Function-granular records get their own field (and their own key
+// prefix) so a segment entry can never be mistaken for — or overwrite — the
+// file-level manifest it was spliced into.
 type memEntry struct {
 	words map[string]bool
 	rec   *Record
+	frec  *FuncRecord
 }
 
 // DefaultMemoryEntries bounds a Memory store when the caller passes
@@ -111,6 +119,30 @@ func (m *Memory) PutResult(key, fileHash string, r *Record) error {
 	m.lru.Add("r\x00"+key+"\x00"+fileHash, &memEntry{rec: r})
 	if m.disk != nil {
 		return m.disk.PutResult(key, fileHash, r)
+	}
+	return nil
+}
+
+// FuncResult implements Store.
+func (m *Memory) FuncResult(key, fnHash string) (*FuncRecord, bool) {
+	k := "f\x00" + key + "\x00" + fnHash
+	if e, ok := m.lru.Get(k); ok {
+		return e.frec, true
+	}
+	if m.disk != nil {
+		if rec, ok := m.disk.FuncResult(key, fnHash); ok {
+			m.lru.Add(k, &memEntry{frec: rec})
+			return rec, true
+		}
+	}
+	return nil, false
+}
+
+// PutFuncResult implements Store.
+func (m *Memory) PutFuncResult(key, fnHash string, r *FuncRecord) error {
+	m.lru.Add("f\x00"+key+"\x00"+fnHash, &memEntry{frec: r})
+	if m.disk != nil {
+		return m.disk.PutFuncResult(key, fnHash, r)
 	}
 	return nil
 }

@@ -33,6 +33,9 @@ func (e *LexError) Error() string {
 func Lex(name, src string, opts Options) (*File, error) {
 	lx := &lexer{name: name, src: src, opts: opts, line: 1, col: 1}
 	f := &File{Name: name, Src: src}
+	// C code averages a handful of bytes per token; sizing up front keeps
+	// append from copying the slice log(n) times.
+	f.Tokens = make([]Token, 0, len(src)/4+8)
 	for {
 		tok, err := lx.next()
 		if err != nil {
@@ -72,6 +75,13 @@ func (lx *lexer) peekAt(n int) byte {
 		return lx.src[lx.off+n]
 	}
 	return 0
+}
+
+// advanceNoNL advances n bytes known to contain no newline (identifier
+// characters, punctuation), skipping advance's per-byte line accounting.
+func (lx *lexer) advanceNoNL(n int) {
+	lx.off += n
+	lx.col += n
 }
 
 func (lx *lexer) advance(n int) {
@@ -144,6 +154,17 @@ var puncts = []string{
 
 var smplPuncts = []string{"\\(", "\\|", "\\)", "\\&", "##", "=~", "@"}
 
+// punctsByByte indexes puncts by leading byte so matching probes only the
+// few candidates that can start with the byte at hand, preserving the
+// longest-first (max munch) order within each bucket.
+var punctsByByte = func() [256][]string {
+	var t [256][]string
+	for _, p := range puncts {
+		t[p[0]] = append(t[p[0]], p)
+	}
+	return t
+}()
+
 func (lx *lexer) next() (Token, error) {
 	ws, err := lx.skipWS()
 	if err != nil {
@@ -166,9 +187,11 @@ func (lx *lexer) next() (Token, error) {
 
 	if isIdentStart(c) {
 		start := lx.off
-		for lx.off < len(lx.src) && isIdentCont(lx.src[lx.off]) {
-			lx.advance(1)
+		end := lx.off
+		for end < len(lx.src) && isIdentCont(lx.src[end]) {
+			end++
 		}
+		lx.advanceNoNL(end - start)
 		text := lx.src[start:lx.off]
 		// String literal prefixes: L"..." u8"..." R"(...)"
 		if lx.off < len(lx.src) && (lx.peek() == '"' || lx.peek() == '\'') &&
@@ -217,14 +240,14 @@ func (lx *lexer) next() (Token, error) {
 			}
 		}
 	}
-	for _, p := range puncts {
+	for _, p := range punctsByByte[c] {
 		if !strings.HasPrefix(lx.src[lx.off:], p) {
 			continue
 		}
 		if !lx.opts.CUDAChevrons && (p == "<<<" || p == ">>>") {
 			continue
 		}
-		lx.advance(len(p))
+		lx.advanceNoNL(len(p))
 		return Token{Kind: Punct, Text: p, WS: ws, Pos: pos}, nil
 	}
 

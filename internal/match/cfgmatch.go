@@ -89,7 +89,10 @@ func (m *Matcher) findCFG(add func(Match) bool) bool {
 		return false
 	}
 	_, leadingDots := elems[0].(*cast.Dots)
-	for _, fd := range m.Code.Funcs() {
+	for _, fd := range m.funcCands() {
+		if !m.admits(fd) {
+			continue
+		}
 		g := m.CFGs(fd)
 		if g == nil {
 			continue

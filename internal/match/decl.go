@@ -16,6 +16,13 @@ func (m *Matcher) findDecls() []Match {
 	// Multi-declaration patterns match contiguous windows of top-level
 	// declarations.
 	for start := 0; start+len(pats) <= len(m.Code.Decls); start++ {
+		if m.Window != nil {
+			first, _ := m.Code.Decls[start].Span()
+			_, last := m.Code.Decls[start+len(pats)-1].Span()
+			if !m.Window(first, last) {
+				continue
+			}
+		}
 		c := m.newCtx()
 		ok := true
 		for i, p := range pats {
@@ -37,6 +44,9 @@ func (m *Matcher) findDecls() []Match {
 func (m *Matcher) findSingleDecl(p cast.Decl) []Match {
 	var out []Match
 	for _, d := range m.Code.Decls {
+		if !m.admits(d) {
+			continue
+		}
 		c := m.newCtx()
 		if c.decl(p, d) {
 			out = append(out, c.finish())
@@ -45,7 +55,7 @@ func (m *Matcher) findSingleDecl(p cast.Decl) []Match {
 	switch pt := p.(type) {
 	case *cast.VarDecl:
 		cast.Walk(m.Code, func(n cast.Node) bool {
-			if ds, ok := n.(*cast.DeclStmt); ok {
+			if ds, ok := n.(*cast.DeclStmt); ok && m.admits(ds) {
 				c := m.newCtx()
 				if c.varDecl(pt, ds.D) {
 					out = append(out, c.finish())
@@ -55,7 +65,7 @@ func (m *Matcher) findSingleDecl(p cast.Decl) []Match {
 		})
 	case *cast.PragmaPattern:
 		cast.Walk(m.Code, func(n cast.Node) bool {
-			if ps, ok := n.(*cast.PragmaStmt); ok {
+			if ps, ok := n.(*cast.PragmaStmt); ok && m.admits(ps) {
 				c := m.newCtx()
 				if c.pragma(pt, ps.P) {
 					c.pairNode(pt, ps)

@@ -77,6 +77,69 @@ type Matcher struct {
 	// build serves every rule, environment, and match on the file. Nil
 	// falls back to the syntactic sequence matcher.
 	CFGs func(*cast.FuncDef) *cfg.Graph
+	// Window, when non-nil, restricts matching to candidate roots whose
+	// token span [first,last] it admits. Candidate roots — expressions,
+	// statement contexts, declarations, CFG functions — each occupy a
+	// contiguous token range, so a partition of the token file into windows
+	// (cast.Segmentation's function extents and residue) partitions the
+	// match set: every match found without a window is found under exactly
+	// one window of the partition, and vice versa.
+	Window func(first, last int) bool
+	// Cands, when non-nil, supplies the file's candidate enumerations,
+	// computed once by PrecomputeCands. Windowed per-segment matchers share
+	// one Cands so FindAll filters a ready list instead of re-walking the
+	// whole AST per segment; it must have been computed from Code.
+	Cands *Cands
+}
+
+// Cands caches the per-file candidate enumerations FindAll iterates: every
+// expression, every statement context, and every function definition.
+// Computing them costs a full AST walk, so segment-granular callers that run
+// FindAll once per window build one Cands per file and share it (it is
+// read-only and safe for concurrent matchers).
+type Cands struct {
+	exprs []cast.Expr
+	stmts []stmtContext
+	funcs []*cast.FuncDef
+}
+
+// PrecomputeCands enumerates f's candidates for Matcher.Cands.
+func PrecomputeCands(f *cast.File) *Cands {
+	return &Cands{exprs: cast.Exprs(f), stmts: stmtContexts(f), funcs: f.Funcs()}
+}
+
+// exprCands returns the expression candidates, enumerating on demand when no
+// precomputed set was supplied.
+func (m *Matcher) exprCands() []cast.Expr {
+	if m.Cands != nil {
+		return m.Cands.exprs
+	}
+	return cast.Exprs(m.Code)
+}
+
+// stmtCands returns the statement-context candidates.
+func (m *Matcher) stmtCands() []stmtContext {
+	if m.Cands != nil {
+		return m.Cands.stmts
+	}
+	return stmtContexts(m.Code)
+}
+
+// funcCands returns the function-definition candidates.
+func (m *Matcher) funcCands() []*cast.FuncDef {
+	if m.Cands != nil {
+		return m.Cands.funcs
+	}
+	return m.Code.Funcs()
+}
+
+// admits reports whether the window (if any) accepts the node's span.
+func (m *Matcher) admits(n cast.Node) bool {
+	if m.Window == nil {
+		return true
+	}
+	first, last := n.Span()
+	return m.Window(first, last)
 }
 
 // ctx is the per-attempt mutable state with undo support.
@@ -251,7 +314,10 @@ func (m *Matcher) FindAll() []Match {
 	}
 	switch m.Pat.Kind {
 	case smpl.ExprPattern:
-		for _, e := range cast.Exprs(m.Code) {
+		for _, e := range m.exprCands() {
+			if !m.admits(e) {
+				continue
+			}
 			c := m.newCtx()
 			if c.expr(m.Pat.Expr, e) {
 				if add(c.finish()) {
@@ -264,7 +330,11 @@ func (m *Matcher) FindAll() []Match {
 			m.findCFG(add)
 			return dedupMatches(out)
 		}
-		for _, seq := range stmtContexts(m.Code) {
+		for _, sc := range m.stmtCands() {
+			if m.Window != nil && !m.Window(sc.first, sc.last) {
+				continue
+			}
+			seq := sc.items
 			for start := 0; start <= len(seq); start++ {
 				c := m.newCtx()
 				if ok, _ := c.stmtSeq(m.Pat.Stmts, seq[min(start, len(seq)):], false); ok {
@@ -292,41 +362,49 @@ func (m *Matcher) FindAll() []Match {
 	return dedupMatches(out)
 }
 
+// stmtContext is one statement list together with the token span of the
+// node that owns it, so windowed matching can admit or reject it whole.
+type stmtContext struct {
+	first, last int
+	items       []cast.Stmt
+}
+
 // stmtContexts enumerates every statement list in the file: compound bodies
 // plus singleton lists for bare (unbraced) bodies.
-func stmtContexts(f *cast.File) [][]cast.Stmt {
-	var out [][]cast.Stmt
+func stmtContexts(f *cast.File) []stmtContext {
+	var out []stmtContext
+	bare := func(s cast.Stmt) {
+		if s == nil {
+			return
+		}
+		if _, ok := s.(*cast.Compound); ok {
+			return // already walked
+		}
+		first, last := s.Span()
+		out = append(out, stmtContext{first: first, last: last, items: []cast.Stmt{s}})
+	}
 	cast.Walk(f, func(n cast.Node) bool {
 		switch x := n.(type) {
 		case *cast.Compound:
-			out = append(out, x.Items)
+			first, last := x.Span()
+			out = append(out, stmtContext{first: first, last: last, items: x.Items})
 		case *cast.If:
-			out = append(out, bareBody(x.Then)...)
-			out = append(out, bareBody(x.Else)...)
+			bare(x.Then)
+			bare(x.Else)
 		case *cast.For:
-			out = append(out, bareBody(x.Body)...)
+			bare(x.Body)
 		case *cast.RangeFor:
-			out = append(out, bareBody(x.Body)...)
+			bare(x.Body)
 		case *cast.While:
-			out = append(out, bareBody(x.Body)...)
+			bare(x.Body)
 		case *cast.DoWhile:
-			out = append(out, bareBody(x.Body)...)
+			bare(x.Body)
 		case *cast.Label:
-			out = append(out, bareBody(x.Stmt)...)
+			bare(x.Stmt)
 		}
 		return true
 	})
 	return out
-}
-
-func bareBody(s cast.Stmt) [][]cast.Stmt {
-	if s == nil {
-		return nil
-	}
-	if _, ok := s.(*cast.Compound); ok {
-		return nil // already walked
-	}
-	return [][]cast.Stmt{{s}}
 }
 
 // dedupMatches removes duplicate matches covering the identical code span

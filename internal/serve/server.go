@@ -202,19 +202,25 @@ type PatchLine struct {
 	Changed bool   `json:"changed,omitempty"`
 	Skipped bool   `json:"skipped,omitempty"`
 	Cached  bool   `json:"cached,omitempty"`
+	// FuncsMatched and FuncsCached count this file's function segments
+	// matched fresh vs replayed when the member ran function-granularly.
+	FuncsMatched int `json:"functions_matched,omitempty"`
+	FuncsCached  int `json:"functions_cached,omitempty"`
 }
 
 // RunSummary is the trailing NDJSON line of a sweep.
 type RunSummary struct {
-	Files     int            `json:"files"`
-	Changed   int            `json:"changed"`
-	Errors    int            `json:"errors"`
-	Cached    int            `json:"cached"`
-	Skipped   int            `json:"skipped"`
-	Parsed    int            `json:"parsed"`
-	Read      int            `json:"read"`
-	ElapsedMS int64          `json:"elapsed_ms"`
-	PerPatch  []PatchSummary `json:"per_patch,omitempty"`
+	Files        int            `json:"files"`
+	Changed      int            `json:"changed"`
+	Errors       int            `json:"errors"`
+	Cached       int            `json:"cached"`
+	Skipped      int            `json:"skipped"`
+	FuncsMatched int            `json:"functions_matched"`
+	FuncsCached  int            `json:"functions_cached"`
+	Parsed       int            `json:"parsed"`
+	Read         int            `json:"read"`
+	ElapsedMS    int64          `json:"elapsed_ms"`
+	PerPatch     []PatchSummary `json:"per_patch,omitempty"`
 }
 
 // PatchSummary is one campaign member's aggregate over a sweep — the wire
@@ -227,18 +233,24 @@ type PatchSummary struct {
 	Matches int    `json:"matches"`
 	Skipped int    `json:"skipped"`
 	Cached  int    `json:"cached"`
+	// FuncsMatched and FuncsCached aggregate the member's function-granular
+	// counters across the sweep.
+	FuncsMatched int `json:"functions_matched"`
+	FuncsCached  int `json:"functions_cached"`
 }
 
 func patchSummaries(per []batch.PatchStats) []PatchSummary {
 	out := make([]PatchSummary, len(per))
 	for i, ps := range per {
 		out[i] = PatchSummary{
-			Patch:   ps.Patch,
-			Matched: ps.Matched,
-			Changed: ps.Changed,
-			Matches: ps.Matches,
-			Skipped: ps.Skipped,
-			Cached:  ps.Cached,
+			Patch:        ps.Patch,
+			Matched:      ps.Matched,
+			Changed:      ps.Changed,
+			Matches:      ps.Matches,
+			Skipped:      ps.Skipped,
+			Cached:       ps.Cached,
+			FuncsMatched: ps.FuncsMatched,
+			FuncsCached:  ps.FuncsCached,
 		}
 	}
 	return out
@@ -257,11 +269,13 @@ func fileLine(fr batch.CampaignFileResult, includeOutput bool) RunLine {
 	}
 	for _, o := range fr.Patches {
 		line.Patches = append(line.Patches, PatchLine{
-			Patch:   o.Patch,
-			Matches: o.Matches(),
-			Changed: o.Changed,
-			Skipped: o.Skipped,
-			Cached:  o.Cached,
+			Patch:        o.Patch,
+			Matches:      o.Matches(),
+			Changed:      o.Changed,
+			Skipped:      o.Skipped,
+			Cached:       o.Cached,
+			FuncsMatched: o.FuncsMatched,
+			FuncsCached:  o.FuncsCached,
 		})
 	}
 	return line
@@ -297,15 +311,17 @@ func (srv *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	enc.Encode(RunLine{Summary: &RunSummary{
-		Files:     stats.Files,
-		Changed:   stats.Changed,
-		Errors:    stats.Errors,
-		Cached:    stats.Cached,
-		Skipped:   stats.Skipped,
-		Parsed:    stats.Parsed,
-		Read:      stats.Read,
-		ElapsedMS: time.Since(start).Milliseconds(),
-		PerPatch:  patchSummaries(stats.PerPatch),
+		Files:        stats.Files,
+		Changed:      stats.Changed,
+		Errors:       stats.Errors,
+		Cached:       stats.Cached,
+		Skipped:      stats.Skipped,
+		FuncsMatched: stats.FuncsMatched,
+		FuncsCached:  stats.FuncsCached,
+		Parsed:       stats.Parsed,
+		Read:         stats.Read,
+		ElapsedMS:    time.Since(start).Milliseconds(),
+		PerPatch:     patchSummaries(stats.PerPatch),
 	}})
 }
 
@@ -487,6 +503,8 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			{"file_errors_total", st.FileErrors},
 			{"patch_results_cached_total", st.PatchCached},
 			{"patch_results_skipped_total", st.PatchSkipped},
+			{"functions_matched_total", st.FuncsMatched},
+			{"functions_cached_total", st.FuncsCached},
 			{"files_parsed_total", st.FilesParsed},
 			{"files_read_total", st.FilesRead},
 			{"ast_cache_entries", int64(st.ASTEntries)},

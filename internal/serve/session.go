@@ -128,6 +128,8 @@ type Session struct {
 	errors        atomic.Int64
 	patchCached   atomic.Int64
 	patchSkipped  atomic.Int64
+	fnMatchedC    atomic.Int64
+	fnCachedC     atomic.Int64
 	parsed        atomic.Int64
 	read          atomic.Int64
 	invalidations atomic.Int64
@@ -281,6 +283,12 @@ type RunStats struct {
 	// Cached and Skipped total the per-patch counters across the campaign.
 	Cached  int
 	Skipped int
+	// FuncsMatched and FuncsCached total the function-granular counters
+	// across the campaign: function segments matched fresh vs replayed from
+	// the segment cache. A warm sweep after editing one function of one file
+	// shows FuncsMatched == 1 (per function-local patch).
+	FuncsMatched int
+	FuncsCached  int
 	// Parsed counts files whose input text was parsed this sweep — after a
 	// warm sweep that edited k files, exactly k. Read counts files whose
 	// bytes had to be read at all.
@@ -322,6 +330,8 @@ func (s *Session) account(st batch.CampaignStats, states []*batch.FileState) Run
 	for _, ps := range st.PerPatch {
 		out.Cached += ps.Cached
 		out.Skipped += ps.Skipped
+		out.FuncsMatched += ps.FuncsMatched
+		out.FuncsCached += ps.FuncsCached
 	}
 	for _, fst := range states {
 		if fst.ParsedInput {
@@ -336,6 +346,8 @@ func (s *Session) account(st batch.CampaignStats, states []*batch.FileState) Run
 	s.errors.Add(int64(st.Errors))
 	s.patchCached.Add(int64(out.Cached))
 	s.patchSkipped.Add(int64(out.Skipped))
+	s.fnMatchedC.Add(int64(out.FuncsMatched))
+	s.fnCachedC.Add(int64(out.FuncsCached))
 	return out
 }
 
@@ -403,6 +415,8 @@ func (s *Session) runOneWith(camp *batch.Campaign, st *batch.FileState) (batch.C
 	for _, ps := range stats.PerPatch {
 		s.patchCached.Add(int64(ps.Cached))
 		s.patchSkipped.Add(int64(ps.Skipped))
+		s.fnMatchedC.Add(int64(ps.FuncsMatched))
+		s.fnCachedC.Add(int64(ps.FuncsCached))
 	}
 	return out, nil
 }
@@ -428,6 +442,8 @@ type SessionStats struct {
 	FileErrors     int64 `json:"file_errors"`
 	PatchCached    int64 `json:"patch_results_cached"`
 	PatchSkipped   int64 `json:"patch_results_skipped"`
+	FuncsMatched   int64 `json:"functions_matched"`
+	FuncsCached    int64 `json:"functions_cached"`
 	FilesParsed    int64 `json:"files_parsed"`
 	FilesRead      int64 `json:"files_read"`
 
@@ -466,6 +482,8 @@ func (s *Session) Stats() SessionStats {
 		FileErrors:     s.errors.Load(),
 		PatchCached:    s.patchCached.Load(),
 		PatchSkipped:   s.patchSkipped.Load(),
+		FuncsMatched:   s.fnMatchedC.Load(),
+		FuncsCached:    s.fnCachedC.Load(),
 		FilesParsed:    s.parsed.Load(),
 		FilesRead:      s.read.Load(),
 		ASTEntries:     s.asts.Len(),

@@ -110,8 +110,73 @@ func (e *EditSet) indentOf(i int) string {
 	return src[lineStart:j]
 }
 
+// Merge folds o's edits into e. Both sets must address the same token file.
+// Deletions union; insertions append after e's own, preserving o's internal
+// order — per-anchor insertion order is therefore preserved whenever the two
+// sets touch disjoint anchors (the function-granular runner's case).
+func (e *EditSet) Merge(o *EditSet) {
+	for i := range o.del {
+		e.del[i] = true
+	}
+	for _, in := range o.ins {
+		e.Insert(in.Anchor, in.Place, in.Text)
+	}
+}
+
+// WithinRange reports whether every recorded edit touches only tokens in
+// [first,last].
+func (e *EditSet) WithinRange(first, last int) bool {
+	for i := range e.del {
+		if i < first || i > last {
+			return false
+		}
+	}
+	for _, in := range e.ins {
+		if in.Anchor < first || in.Anchor > last {
+			return false
+		}
+	}
+	return true
+}
+
+// Touches reports whether any recorded edit lands on a token in [first,last].
+func (e *EditSet) Touches(first, last int) bool {
+	for i := range e.del {
+		if i >= first && i <= last {
+			return true
+		}
+	}
+	for _, in := range e.ins {
+		if in.Anchor >= first && in.Anchor <= last {
+			return true
+		}
+	}
+	return false
+}
+
 // Apply renders the edited source.
 func (e *EditSet) Apply() string {
+	out, _ := e.render(0, len(e.file.Tokens)-1, "", false)
+	return out
+}
+
+// ApplyRange renders tokens [first,last] with e's edits, substituting lead
+// for the first token's whitespace (the caller owns the bytes before it).
+// The returned text composes with the untouched surrounding pieces exactly
+// as a full Apply would render them — except when ambiguous is true: the
+// range's final line was emptied by deletions but the newline that would
+// have removed it lies beyond the range, so a full render would drop a line
+// this render had to keep. Callers treat an ambiguous render as "cannot
+// compose" and fall back to whole-file rendering.
+func (e *EditSet) ApplyRange(first, last int, lead string) (out string, ambiguous bool) {
+	if last < first {
+		return "", false
+	}
+	return e.render(first, last, lead, true)
+}
+
+// render is the shared token loop behind Apply and ApplyRange.
+func (e *EditSet) render(first, last int, lead string, override bool) (string, bool) {
 	byAnchor := map[int][]Insertion{}
 	for _, in := range e.ins {
 		byAnchor[in.Anchor] = append(byAnchor[in.Anchor], in)
@@ -123,7 +188,13 @@ func (e *EditSet) Apply() string {
 	var sb strings.Builder
 	toks := e.file.Tokens
 	prevDeleted := false
-	for i, t := range toks {
+	for i := first; i <= last && i < len(toks); i++ {
+		t := toks[i]
+		if i == first && override {
+			// The caller owns the bytes before the range; substitute the
+			// range-local whitespace (the anchor's own-line indentation).
+			t.WS = lead
+		}
 		inserts := byAnchor[i]
 
 		// BeforeOwnLine insertions: split the token's whitespace at its last
@@ -217,22 +288,30 @@ func (e *EditSet) Apply() string {
 
 // cleanup removes lines that consist only of whitespace and deletion
 // markers (a fully deleted source line), and strips markers elsewhere.
-func cleanup(s string) string {
+// ambiguous reports that the final, newline-less line was emptied by
+// deletions: a full-file render would see that line continue into the
+// following range and might drop it entirely, so a range render cannot
+// know the composed result. (Apply always renders through the file's final
+// newline-or-EOF, where the flag is meaningless and ignored.)
+func cleanup(s string) (out string, ambiguous bool) {
 	if !strings.Contains(s, marker) {
-		return s
+		return s, false
 	}
 	lines := strings.SplitAfter(s, "\n")
-	var out strings.Builder
+	var sb strings.Builder
 	for _, line := range lines {
 		if strings.Contains(line, marker) {
 			stripped := strings.ReplaceAll(line, marker, "")
-			if strings.TrimSpace(stripped) == "" && strings.HasSuffix(line, "\n") {
-				continue // drop the emptied line entirely
+			if strings.TrimSpace(stripped) == "" {
+				if strings.HasSuffix(line, "\n") {
+					continue // drop the emptied line entirely
+				}
+				ambiguous = true
 			}
-			out.WriteString(stripped)
+			sb.WriteString(stripped)
 			continue
 		}
-		out.WriteString(line)
+		sb.WriteString(line)
 	}
-	return out.String()
+	return sb.String(), ambiguous
 }

@@ -81,6 +81,12 @@ type Options struct {
 	// result-affecting option changes the key. Ignored by the
 	// single-threaded Applier. See docs/batch.md for the on-disk format.
 	CacheDir string
+	// NoFuncCache disables function-granular processing for BatchApplier and
+	// Campaign runs: eligible single-rule patches then match whole files
+	// instead of per-function segments. Outputs are byte-identical either
+	// way; disable it to measure the incremental pipeline's effect or to
+	// force file-level matching. Ignored by the single-threaded Applier.
+	NoFuncCache bool
 }
 
 func (o Options) internal() core.Options {
@@ -93,7 +99,7 @@ func (o Options) internal() core.Options {
 func (o Options) batch() batch.Options {
 	return batch.Options{
 		Engine: o.internal(), Workers: o.Workers,
-		NoPrefilter: o.NoPrefilter, CacheDir: o.CacheDir,
+		NoPrefilter: o.NoPrefilter, CacheDir: o.CacheDir, NoFuncCache: o.NoFuncCache,
 	}
 }
 
@@ -235,6 +241,11 @@ type FileResult struct {
 	// EnvsTruncated reports that this file's run hit Options.MaxEnvs and
 	// dropped matches (see Result.EnvsTruncated).
 	EnvsTruncated bool
+	// FuncsMatched and FuncsCached count this file's function segments
+	// matched fresh vs replayed from the function-granular cache; both 0
+	// when the patch or file took the file-level path.
+	FuncsMatched int
+	FuncsCached  int
 	// Err is this file's failure; other files in the batch still complete.
 	Err error
 }
@@ -251,6 +262,10 @@ type BatchStats struct {
 	Matches int // total rule matches across all files
 	Skipped int // files the prefilter rejected without parsing
 	Cached  int // files replayed from the persistent result cache
+	// FuncsMatched and FuncsCached total the function-granular counters:
+	// function segments matched fresh vs replayed across all files.
+	FuncsMatched int
+	FuncsCached  int
 }
 
 // BatchApplier applies one patch across many files concurrently with a
@@ -360,19 +375,23 @@ func publicResult(fr batch.FileResult) FileResult {
 		Skipped:       fr.Skipped,
 		Cached:        fr.Cached,
 		EnvsTruncated: fr.EnvsTruncated,
+		FuncsMatched:  fr.FuncsMatched,
+		FuncsCached:   fr.FuncsCached,
 		Err:           fr.Err,
 	}
 }
 
 func publicStats(st batch.Stats) BatchStats {
 	return BatchStats{
-		Files:   st.Files,
-		Matched: st.Matched,
-		Changed: st.Changed,
-		Errors:  st.Errors,
-		Matches: st.Matches,
-		Skipped: st.Skipped,
-		Cached:  st.Cached,
+		Files:        st.Files,
+		Matched:      st.Matched,
+		Changed:      st.Changed,
+		Errors:       st.Errors,
+		Matches:      st.Matches,
+		Skipped:      st.Skipped,
+		Cached:       st.Cached,
+		FuncsMatched: st.FuncsMatched,
+		FuncsCached:  st.FuncsCached,
 	}
 }
 
@@ -392,6 +411,10 @@ type PatchOutcome struct {
 	Cached bool
 	// EnvsTruncated reports this patch's run hit Options.MaxEnvs.
 	EnvsTruncated bool
+	// FuncsMatched and FuncsCached count this file's function segments
+	// matched fresh vs replayed by this patch's function-granular pipeline.
+	FuncsMatched int
+	FuncsCached  int
 }
 
 // CampaignFileResult is one file's outcome across every patch of a
@@ -425,6 +448,10 @@ type PatchStats struct {
 	Matches int    // total rule matches
 	Skipped int    // files its prefilter rejected
 	Cached  int    // files replayed from the result cache
+	// FuncsMatched and FuncsCached total the member's function-granular
+	// counters across the run.
+	FuncsMatched int
+	FuncsCached  int
 }
 
 // CampaignStats aggregates a completed campaign run.
@@ -523,6 +550,8 @@ func publicCampaignResult(fr batch.CampaignFileResult) CampaignFileResult {
 			Skipped:       o.Skipped,
 			Cached:        o.Cached,
 			EnvsTruncated: o.EnvsTruncated,
+			FuncsMatched:  o.FuncsMatched,
+			FuncsCached:   o.FuncsCached,
 		})
 	}
 	return out
@@ -532,12 +561,14 @@ func publicCampaignStats(st batch.CampaignStats) CampaignStats {
 	out := CampaignStats{Files: st.Files, Changed: st.Changed, Errors: st.Errors}
 	for _, ps := range st.PerPatch {
 		out.PerPatch = append(out.PerPatch, PatchStats{
-			Patch:   ps.Patch,
-			Matched: ps.Matched,
-			Changed: ps.Changed,
-			Matches: ps.Matches,
-			Skipped: ps.Skipped,
-			Cached:  ps.Cached,
+			Patch:        ps.Patch,
+			Matched:      ps.Matched,
+			Changed:      ps.Changed,
+			Matches:      ps.Matches,
+			Skipped:      ps.Skipped,
+			Cached:       ps.Cached,
+			FuncsMatched: ps.FuncsMatched,
+			FuncsCached:  ps.FuncsCached,
 		})
 	}
 	return out

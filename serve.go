@@ -116,6 +116,12 @@ type ServeRunStats struct {
 	// Cached and Skipped total the per-patch counters across the campaign.
 	Cached  int
 	Skipped int
+	// FuncsMatched and FuncsCached total the function-granular counters:
+	// function segments matched fresh vs replayed from the segment cache. A
+	// warm sweep after editing one function of one file shows FuncsMatched
+	// == 1 per function-local member patch.
+	FuncsMatched int
+	FuncsCached  int
 	// Parsed counts files whose input text was parsed this sweep — after
 	// editing k of N corpus files, a warm sweep parses exactly k. Read
 	// counts files whose bytes were read at all.
@@ -138,6 +144,8 @@ func (s *Session) Run(fn func(CampaignFileResult) error) (ServeRunStats, error) 
 		CampaignStats: publicCampaignStats(st.CampaignStats),
 		Cached:        st.Cached,
 		Skipped:       st.Skipped,
+		FuncsMatched:  st.FuncsMatched,
+		FuncsCached:   st.FuncsCached,
 		Parsed:        st.Parsed,
 		Read:          st.Read,
 	}, err

@@ -1,0 +1,201 @@
+package sempatch
+
+// End-to-end tests for the HPC campaign CLIs (gocci-hipify, gocci-acc2omp)
+// and gocci --list-campaigns: the campaign path must agree byte-for-byte
+// with the --legacy walkers, warm cache runs must report zero parses, and
+// --verify must demote unsafe edits with visible warnings.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// cliCUDASrc stays inside the campaign's documented envelope (docs/hpc.md):
+// type renames in declaration-statement position, launches in the
+// four-argument form — the same shapes the fixture corpora exercise.
+const cliCUDASrc = `#include <cuda_runtime.h>
+
+__global__ void dev_scale(int n, float *a) {
+	int i = blockIdx.x * blockDim.x + threadIdx.x;
+	if (i < n) a[i] = a[i] * 2.0f;
+}
+
+int run(int n, float *d_a) {
+	cudaStream_t stream;
+	cudaError_t err = cudaMalloc((void **)&d_a, n * sizeof(float));
+	if (err != cudaSuccess) return 1;
+	dev_scale<<<(n + 255) / 256, 256, 0, stream>>>(n, d_a);
+	cudaStreamSynchronize(stream);
+	cudaFree(d_a);
+	return 0;
+}
+`
+
+const cliACCSrc = `void saxpy(int n, float a, float *x, float *y) {
+#pragma acc parallel loop
+	for (int i = 0; i < n; ++i)
+		y[i] = a * x[i] + y[i];
+}
+`
+
+func TestCLIListCampaigns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gocci")
+	out, err := exec.Command(bin, "--list-campaigns").CombinedOutput()
+	if err != nil {
+		t.Fatalf("gocci --list-campaigns: %v\n%s", err, out)
+	}
+	s := string(out)
+	for _, want := range []string{"hipify", "acc2omp", "acc2omp-offload", "hipify-launch.cocci"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("listing missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestCLIHipifyCampaignParity pins the campaign CLI byte-identical to
+// --legacy, for both the diff output and the rewritten file.
+func TestCLIHipifyCampaignParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gocci-hipify")
+	file := filepath.Join(t.TempDir(), "app.cu")
+	if err := os.WriteFile(file, []byte(cliCUDASrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	campaign, err := exec.Command(bin, file).Output()
+	if err != nil {
+		t.Fatalf("gocci-hipify: %v", err)
+	}
+	legacy, err := exec.Command(bin, "--legacy", file).Output()
+	if err != nil {
+		t.Fatalf("gocci-hipify --legacy: %v", err)
+	}
+	if len(campaign) == 0 || !strings.Contains(string(campaign), "hipMalloc") {
+		t.Fatalf("campaign produced no translation:\n%s", campaign)
+	}
+	if string(campaign) != string(legacy) {
+		t.Errorf("campaign and legacy diffs diverge:\n--- campaign\n%s\n--- legacy\n%s", campaign, legacy)
+	}
+
+	// --in-place goes through the atomic writer and preserves permissions.
+	if err := os.Chmod(file, 0o640); err != nil {
+		t.Fatal(err)
+	}
+	if out, err := exec.Command(bin, "--in-place", file).CombinedOutput(); err != nil {
+		t.Fatalf("gocci-hipify --in-place: %v\n%s", err, out)
+	}
+	b, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), "hipLaunchKernelGGL") {
+		t.Errorf("in-place result not translated:\n%s", b)
+	}
+	if info, _ := os.Stat(file); info.Mode().Perm() != 0o640 {
+		t.Errorf("permissions not preserved: %v", info.Mode().Perm())
+	}
+}
+
+func TestCLIAcc2ompCampaignParity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gocci-acc2omp")
+	file := filepath.Join(t.TempDir(), "saxpy.c")
+	if err := os.WriteFile(file, []byte(cliACCSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, offload := range []bool{false, true} {
+		args := []string{file}
+		if offload {
+			args = []string{"--offload", file}
+		}
+		campaign, err := exec.Command(bin, args...).Output()
+		if err != nil {
+			t.Fatalf("gocci-acc2omp %v: %v", args, err)
+		}
+		legacy, err := exec.Command(bin, append([]string{"--legacy"}, args...)...).Output()
+		if err != nil {
+			t.Fatalf("gocci-acc2omp --legacy %v: %v", args, err)
+		}
+		if !strings.Contains(string(campaign), "#pragma omp") {
+			t.Fatalf("campaign produced no translation (offload=%v):\n%s", offload, campaign)
+		}
+		if string(campaign) != string(legacy) {
+			t.Errorf("campaign and legacy diverge (offload=%v):\n--- campaign\n%s\n--- legacy\n%s",
+				offload, campaign, legacy)
+		}
+	}
+}
+
+// TestCLIHipifyWarmCacheStats runs a recursive sweep twice with a cache
+// dir: the repeat must report parsed: 0 with every member fully cached.
+func TestCLIHipifyWarmCacheStats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gocci-hipify")
+	tree := t.TempDir()
+	for _, name := range []string{"a.cu", "b.cu"} {
+		if err := os.WriteFile(filepath.Join(tree, name), []byte(cliCUDASrc), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cacheDir := filepath.Join(t.TempDir(), "cache")
+	run := func() string {
+		cmd := exec.Command(bin, "-r", "--stats", "--cache-dir", cacheDir, tree)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("gocci-hipify -r: %v\n%s", err, out)
+		}
+		return string(out)
+	}
+	cold := run()
+	if !strings.Contains(cold, "campaign hipify") || strings.Contains(cold, "parsed: 0") {
+		t.Fatalf("cold run stats unexpected:\n%s", cold)
+	}
+	warm := run()
+	if !strings.Contains(warm, "parsed: 0") {
+		t.Errorf("warm repeat sweep should parse nothing:\n%s", warm)
+	}
+	if !strings.Contains(warm, "2 cached") {
+		t.Errorf("warm sweep should replay both files per member:\n%s", warm)
+	}
+}
+
+// TestCLIHipifyVerifyDemotes seeds the capture hazard end to end: the CLI
+// must print the verifier warning, report the demotion, and leave the file
+// unchanged.
+func TestCLIHipifyVerifyDemotes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gocci-hipify")
+	src := "int f(int n) {\n\tint hipMalloc = 0;\n\tcudaMalloc(&hipMalloc, n);\n\treturn hipMalloc;\n}\n"
+	file := filepath.Join(t.TempDir(), "seed.cu")
+	if err := os.WriteFile(file, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(bin, "--verify", "--in-place", "--stats", file).CombinedOutput()
+	if err != nil {
+		t.Fatalf("gocci-hipify --verify: %v\n%s", err, out)
+	}
+	s := string(out)
+	if !strings.Contains(s, "[capture]") || !strings.Contains(s, "demoted") {
+		t.Errorf("verifier finding not surfaced:\n%s", s)
+	}
+	b, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != src {
+		t.Errorf("unsafe edit was written anyway:\n%s", b)
+	}
+}

@@ -1,75 +1,71 @@
-// Command gocci-acc2omp translates OpenACC directives to OpenMP. The default
-// path goes through the semantic patch engine (the paper's pragmainfo use
-// case, with the directive translator as the script rule); --line switches
-// to the plain line-oriented rewriting the paper contrasts it with.
+// Command gocci-acc2omp translates OpenACC directives to OpenMP. The
+// default mode runs the shipped "acc2omp" semantic-patch campaign (the
+// paper's pragmainfo use case, with the directive translator as a script
+// rule — see internal/hpc) through the engine's batch runner, inheriting
+// the -j worker pool, recursive tree scanning, the prefilter, and the
+// persistent result cache; --verify adds the post-transform safety
+// checker, including the pragma round-trip test. --offload targets OpenMP
+// device offloading instead of host threading. --legacy (alias: --line)
+// selects the v0 line-oriented walker the paper contrasts the engine with.
 //
 // Usage:
 //
-//	gocci-acc2omp [--line] [--offload] [--in-place] file.c ...
+//	gocci-acc2omp [--legacy] [--offload] [--in-place] [--stats] [--verify]
+//	              [-j N] [-r] [--cache-dir DIR] file.c ...
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/accomp"
 	"repro/internal/buildinfo"
-	"repro/internal/diff"
-	"repro/internal/patchlib"
+	"repro/internal/hpc"
+	"repro/internal/hpccli"
 )
 
 func main() {
 	showVersion := buildinfo.Setup("gocci-acc2omp")
-	lineMode := flag.Bool("line", false, "line-oriented rewriting instead of the semantic patch engine")
+	legacy := flag.Bool("legacy", false, "use the v0 line-oriented walker instead of the shipped campaign")
+	lineMode := flag.Bool("line", false, "alias for --legacy")
 	offload := flag.Bool("offload", false, "target OpenMP device offloading instead of host threading")
 	inPlace := flag.Bool("in-place", false, "rewrite files instead of printing diffs")
+	stats := flag.Bool("stats", false, "print translation statistics")
+	verify := flag.Bool("verify", false, "run the post-transform safety checker; unsafe edits are demoted to warnings")
+	recurse := flag.Bool("r", false, "treat arguments as directories; translate all C/C++ sources below them")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker count for the campaign batch runner")
+	cacheDir := flag.String("cache-dir", "", "persistent corpus-index directory; re-runs over unchanged files replay cached results")
 	flag.Parse()
 	buildinfo.HandleVersion("gocci-acc2omp", showVersion)
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: gocci-acc2omp [--line] [--offload] [--in-place] file.c ...")
+		fmt.Fprintln(os.Stderr, "usage: gocci-acc2omp [--legacy] [--offload] [--in-place] [--stats] [--verify] [-j N] [-r] [--cache-dir DIR] file.c ...")
 		os.Exit(2)
 	}
-	mode := accomp.Host
+	mode, campaign := accomp.Host, "acc2omp"
 	if *offload {
-		mode = accomp.Offload
+		mode, campaign = accomp.Offload, "acc2omp-offload"
 	}
 
-	for _, path := range flag.Args() {
-		b, err := os.ReadFile(path)
-		if err != nil {
-			fatal(err)
-		}
-		src := string(b)
-		var out string
-		var warns []accomp.Warning
-		if *lineMode {
-			out, warns, err = accomp.TranslateSource(src, mode)
-			if err != nil {
-				fatal(err)
-			}
-		} else {
-			exp, _ := patchlib.ByID("L11")
-			_, out, err = exp.RunOn(src)
-			if err != nil {
-				fatal(err)
-			}
-		}
-		for _, w := range warns {
-			fmt.Fprintf(os.Stderr, "warning: %s: %s\n", w.What, w.Why)
-		}
-		if *inPlace {
-			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
-				fatal(err)
-			}
-		} else {
-			fmt.Print(diff.Unified("a/"+path, "b/"+path, src, out))
-		}
+	spec := hpccli.Spec{
+		Tool: "gocci-acc2omp", InPlace: *inPlace, Stats: *stats, Verify: *verify,
+		Recurse: *recurse, Workers: *workers, CacheDir: *cacheDir, Args: flag.Args(),
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gocci-acc2omp:", err)
-	os.Exit(1)
+	if *legacy || *lineMode {
+		spec.Legacy = func(path, src string) (string, error) {
+			out, warns, err := accomp.TranslateSource(src, mode)
+			if err != nil {
+				return "", err
+			}
+			for _, w := range warns {
+				fmt.Fprintf(os.Stderr, "warning: %s: %s\n", w.What, w.Why)
+			}
+			return out, nil
+		}
+	} else {
+		spec.Campaign, _ = hpc.ByName(campaign)
+	}
+	os.Exit(hpccli.Run(spec))
 }

@@ -1,72 +1,75 @@
-// Command gocci-hipify translates CUDA sources to HIP. The default mode is
-// AST-level translation (function names in call position, type names in type
-// position, kernel launches, headers); --text switches to the hipify-perl
-// style dictionary substitution baseline for comparison.
+// Command gocci-hipify translates CUDA sources to HIP. The default mode
+// runs the shipped "hipify" semantic-patch campaign (see internal/hpc)
+// through the engine's batch runner, so it inherits the -j worker pool,
+// recursive tree scanning, the prefilter, and the persistent result cache;
+// --verify adds the post-transform safety checker, demoting unsafe edits
+// to warnings. --legacy selects the v0 AST walker and --text the
+// hipify-perl style dictionary substitution baseline for comparison.
 //
 // Usage:
 //
-//	gocci-hipify [--text] [--in-place] file.cu [file2.cu ...]
+//	gocci-hipify [--legacy|--text] [--in-place] [--stats] [--verify]
+//	             [-j N] [-r] [--cache-dir DIR] file.cu ...
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"repro/internal/buildinfo"
-	"repro/internal/diff"
 	"repro/internal/hipify"
+	"repro/internal/hpc"
+	"repro/internal/hpccli"
 )
 
 func main() {
 	showVersion := buildinfo.Setup("gocci-hipify")
+	legacy := flag.Bool("legacy", false, "use the v0 AST-walker translator instead of the shipped campaign")
 	text := flag.Bool("text", false, "use the text-level (hipify-perl style) baseline")
 	inPlace := flag.Bool("in-place", false, "rewrite files instead of printing diffs")
 	stats := flag.Bool("stats", false, "print translation statistics")
+	verify := flag.Bool("verify", false, "run the post-transform safety checker; unsafe edits are demoted to warnings")
+	recurse := flag.Bool("r", false, "treat arguments as directories; translate all CUDA/C++ sources below them")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker count for the campaign batch runner")
+	cacheDir := flag.String("cache-dir", "", "persistent corpus-index directory; re-runs over unchanged files replay cached results")
 	flag.Parse()
 	buildinfo.HandleVersion("gocci-hipify", showVersion)
 
 	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: gocci-hipify [--text] [--in-place] file.cu ...")
+		fmt.Fprintln(os.Stderr, "usage: gocci-hipify [--legacy|--text] [--in-place] [--stats] [--verify] [-j N] [-r] [--cache-dir DIR] file.cu ...")
 		os.Exit(2)
 	}
 
-	for _, path := range flag.Args() {
-		b, err := os.ReadFile(path)
-		if err != nil {
-			fatal(err)
-		}
-		src := string(b)
-		var out string
-		if *text {
-			var n int
-			out, n = hipify.TextHipify(src)
+	spec := hpccli.Spec{
+		Tool: "gocci-hipify", InPlace: *inPlace, Stats: *stats, Verify: *verify,
+		Recurse: *recurse, Workers: *workers, CacheDir: *cacheDir, Args: flag.Args(),
+	}
+	switch {
+	case *text:
+		spec.Legacy = func(path, src string) (string, error) {
+			out, n := hipify.TextHipify(src)
 			if *stats {
 				fmt.Fprintf(os.Stderr, "%s: %d text substitutions\n", path, n)
 			}
-		} else {
-			var rep hipify.Report
-			out, rep, err = hipify.Translate(path, src)
+			return out, nil
+		}
+	case *legacy:
+		spec.Legacy = func(path, src string) (string, error) {
+			out, rep, err := hipify.Translate(path, src)
 			if err != nil {
-				fatal(err)
+				return "", err
 			}
 			if *stats {
 				fmt.Fprintf(os.Stderr,
 					"%s: %d funcs, %d types, %d enums, %d launches, %d headers\n",
 					path, rep.Functions, rep.Types, rep.Enums, rep.Launches, rep.Headers)
 			}
+			return out, nil
 		}
-		if *inPlace {
-			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
-				fatal(err)
-			}
-		} else {
-			fmt.Print(diff.Unified("a/"+path, "b/"+path, src, out))
-		}
+	default:
+		spec.Campaign, _ = hpc.ByName("hipify")
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gocci-hipify:", err)
-	os.Exit(1)
+	os.Exit(hpccli.Run(spec))
 }

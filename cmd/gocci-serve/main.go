@@ -51,6 +51,7 @@ func main() {
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker-pool size per request")
 	noPrefilter := flag.Bool("no-prefilter", false, "parse every file, even those a patch provably cannot touch")
 	noFnCache := flag.Bool("no-fn-cache", false, "disable function-granular matching and caching; eligible patches match whole files instead of per-function segments")
+	verify := flag.Bool("verify", false, "run the post-transform safety checker on every changed file; unsafe edits are demoted to warnings surfaced over the API and /metrics")
 	cacheDir := flag.String("cache-dir", "", "disk cache behind the in-memory layer; a restarted daemon comes back warm")
 	watch := flag.Duration("watch", 2*time.Second, "poll-watcher interval for change-driven invalidation; 0 disables")
 	astCache := flag.Int("ast-cache", 256, "resident parse-tree LRU size (trees)")
@@ -88,6 +89,7 @@ func main() {
 	opts := sempatch.Options{
 		CPlusPlus: *cxx > 0, Std: *cxx, CUDA: *cuda, UseCTL: *useCTL, SeqDots: *seqDots,
 		Defines: defines, Workers: *workers, NoPrefilter: *noPrefilter, NoFuncCache: *noFnCache,
+		Verify: *verify,
 	}
 
 	srv := sempatch.NewServer(opts)

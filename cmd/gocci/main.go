@@ -24,25 +24,16 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io/fs"
 	"os"
-	"path/filepath"
 	"runtime"
-	"sort"
 	"strings"
 	"time"
 
 	sempatch "repro"
 	"repro/internal/buildinfo"
+	"repro/internal/cliutil"
+	"repro/internal/hpc"
 )
-
-// srcExts are the file suffixes collected in recursive mode.
-var srcExts = map[string]bool{
-	".c": true, ".h": true,
-	".cc": true, ".cpp": true, ".cxx": true,
-	".hh": true, ".hpp": true, ".hxx": true,
-	".cu": true, ".cuh": true,
-}
 
 func main() {
 	showVersion := buildinfo.Setup("gocci")
@@ -59,10 +50,20 @@ func main() {
 	noPrefilter := flag.Bool("no-prefilter", false, "parse every file in recursive mode, even those the patch provably cannot touch")
 	cacheDir := flag.String("cache-dir", "", "persistent corpus-index directory for recursive mode; re-runs over unchanged files replay cached results")
 	noFnCache := flag.Bool("no-fn-cache", false, "disable function-granular matching and caching; eligible patches match whole files instead of per-function segments")
+	verify := flag.Bool("verify", false, "run the post-transform safety checker in recursive mode; unsafe edits are demoted to warnings")
+	listCampaigns := flag.Bool("list-campaigns", false, "list the shipped HPC campaigns and exit")
 	var defines defineList
 	flag.Var(&defines, "D", "define a virtual dependency name (repeatable)")
 	flag.Parse()
 	buildinfo.HandleVersion("gocci", showVersion)
+
+	if *listCampaigns {
+		for _, c := range hpc.Campaigns() {
+			fmt.Printf("%-16s v%-3s %s (%s)\n", c.Name, c.Version, c.Title,
+				strings.Join(c.PatchNames(), ", "))
+		}
+		return
+	}
 
 	args := flag.Args()
 	// Positional patches: every argument ending in .cocci, in command
@@ -99,10 +100,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gocci: warning: --cache-dir only applies to recursive (-r) mode; ignored")
 		*cacheDir = ""
 	}
+	if *verify && !*recurse {
+		fmt.Fprintln(os.Stderr, "gocci: warning: --verify only applies to recursive (-r) mode; ignored")
+		*verify = false
+	}
 	opts := sempatch.Options{
 		CPlusPlus: *cxx > 0, Std: *cxx, CUDA: *cuda, UseCTL: *useCTL, SeqDots: *seqDots,
 		Defines: defines, Workers: *workers, NoPrefilter: *noPrefilter,
-		CacheDir: *cacheDir, NoFuncCache: *noFnCache,
+		CacheDir: *cacheDir, NoFuncCache: *noFnCache, Verify: *verify,
 	}
 
 	g := &gocci{inPlace: *inPlace, quiet: *quiet, ruleMatches: make([]map[string]int, len(patches))}
@@ -139,12 +144,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gocci: %d files scanned, %d changed, %d errors in %v\n",
 				g.cst.Files, g.cst.Changed, g.cst.Errors, elapsed.Round(time.Millisecond))
 			for _, ps := range g.cst.PerPatch {
-				fmt.Fprintf(os.Stderr, "gocci:   patch %s: %d skipped by prefilter, %d cached, %d matched (%d matches), %d changed, %d functions matched, %d functions cached\n",
-					ps.Patch, ps.Skipped, ps.Cached, ps.Matched, ps.Matches, ps.Changed, ps.FuncsMatched, ps.FuncsCached)
+				fmt.Fprintf(os.Stderr, "gocci:   patch %s: %d skipped by prefilter, %d cached, %d matched (%d matches), %d changed, %d functions matched, %d functions cached%s\n",
+					ps.Patch, ps.Skipped, ps.Cached, ps.Matched, ps.Matches, ps.Changed, ps.FuncsMatched, ps.FuncsCached,
+					verifySuffix(*verify, ps.Demoted, ps.Warnings))
 			}
 		case *recurse:
-			fmt.Fprintf(os.Stderr, "gocci: %d files scanned, %d skipped by prefilter, %d cached, %d matched (%d matches), %d changed, %d errors, %d functions matched, %d functions cached in %v\n",
-				g.st.Files, g.st.Skipped, g.st.Cached, g.st.Matched, g.st.Matches, g.st.Changed, g.st.Errors, g.st.FuncsMatched, g.st.FuncsCached, elapsed.Round(time.Millisecond))
+			fmt.Fprintf(os.Stderr, "gocci: %d files scanned, %d skipped by prefilter, %d cached, %d matched (%d matches), %d changed, %d errors, %d functions matched, %d functions cached%s in %v\n",
+				g.st.Files, g.st.Skipped, g.st.Cached, g.st.Matched, g.st.Matches, g.st.Changed, g.st.Errors, g.st.FuncsMatched, g.st.FuncsCached,
+				verifySuffix(*verify, g.st.Demoted, g.st.Warnings), elapsed.Round(time.Millisecond))
 		default:
 			// One engine run over all files: matches are not attributed
 			// per file, so no per-file "matched" count is reported.
@@ -190,7 +197,8 @@ func (g *gocci) reportCache() {
 	}
 }
 
-// emit handles one per-file outcome: report errors, write or print changes.
+// emit handles one per-file outcome: report errors and verifier findings,
+// write or print changes.
 func (g *gocci) emit(fr sempatch.FileResult) error {
 	if fr.Err != nil {
 		fmt.Fprintf(os.Stderr, "gocci: %v\n", fr.Err)
@@ -200,11 +208,17 @@ func (g *gocci) emit(fr sempatch.FileResult) error {
 	if fr.EnvsTruncated {
 		fmt.Fprintf(os.Stderr, "gocci: warning: %s: environment cap (MaxEnvs) hit, matches dropped; results may be incomplete\n", fr.Name)
 	}
+	for _, w := range fr.Warnings {
+		fmt.Fprintf(os.Stderr, "gocci: verify: %s: %s\n", fr.Name, w)
+	}
+	if fr.Demoted {
+		fmt.Fprintf(os.Stderr, "gocci: verify: %s: unsafe edit demoted; file left unchanged\n", fr.Name)
+	}
 	if !fr.Changed() {
 		return nil
 	}
 	if g.inPlace {
-		if err := writeInPlace(fr.Name, fr.Output); err != nil {
+		if err := cliutil.WriteInPlace(fr.Name, fr.Output); err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "patched %s\n", fr.Name)
@@ -214,47 +228,13 @@ func (g *gocci) emit(fr sempatch.FileResult) error {
 	return nil
 }
 
-// writeInPlace atomically replaces path with content, keeping the original
-// file's permission bits: the new text lands in a temp file in the same
-// directory, is fsynced, and is renamed over the original, so a crash
-// mid-write can never leave a truncated source file behind, and an
-// executable script stays executable. Symlinks are resolved first so the
-// rename rewrites the link's target instead of silently replacing the link
-// with a regular file. (Hard-link peers do detach — the price of an atomic
-// replace.)
-func writeInPlace(path, content string) error {
-	real, err := filepath.EvalSymlinks(path)
-	if err != nil {
-		return err
+// verifySuffix renders the demoted/warnings tail of a --stats line; empty
+// unless --verify ran.
+func verifySuffix(on bool, demoted, warnings int) string {
+	if !on {
+		return ""
 	}
-	path = real
-	info, err := os.Stat(path)
-	if err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".gocci-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if _, err := tmp.WriteString(content); err != nil {
-		tmp.Close()
-		return err
-	}
-	// Chmod rather than relying on CreateTemp's 0600: the replacement must
-	// carry the original's permission bits.
-	if err := tmp.Chmod(info.Mode().Perm()); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return fmt.Sprintf(", %d demoted, %d warnings", demoted, warnings)
 }
 
 // runBatch applies one patch per-file across directory trees with the
@@ -293,6 +273,8 @@ func (g *gocci) runCampaign(patches []*sempatch.Patch, opts sempatch.Options, di
 				g.ruleMatches[i][rule] += n
 			}
 			out.EnvsTruncated = out.EnvsTruncated || o.EnvsTruncated
+			out.Warnings = append(out.Warnings, o.Warnings...)
+			out.Demoted = out.Demoted || o.Demoted
 		}
 		return g.emit(out)
 	})
@@ -375,46 +357,12 @@ func (g *gocci) runSingle(patches []*sempatch.Patch, opts sempatch.Options, path
 	}
 }
 
-// collectSources walks directories gathering C/C++/CUDA files in sorted
-// path order, so batch output order is reproducible run to run. Files
-// reached through repeated or overlapping directory arguments are kept
-// once — patching a file twice in one run would double-apply the rules.
+// collectSources gathers C/C++/CUDA files below dirs via the shared
+// collector, reporting skipped entries in gocci's prefix style.
 func collectSources(dirs []string) ([]string, error) {
-	var out []string
-	seen := map[string]bool{}
-	for _, dir := range dirs {
-		err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
-			if err != nil {
-				// An unreadable entry skips, like any per-file failure —
-				// one bad subdirectory must not abort the whole batch.
-				fmt.Fprintf(os.Stderr, "gocci: skipping %s: %v\n", path, err)
-				if d != nil && d.IsDir() {
-					return filepath.SkipDir
-				}
-				return nil
-			}
-			if d.IsDir() {
-				if name := d.Name(); name == ".git" {
-					return filepath.SkipDir
-				}
-				return nil
-			}
-			if !srcExts[filepath.Ext(path)] {
-				return nil
-			}
-			key := filepath.Clean(path)
-			if !seen[key] {
-				seen[key] = true
-				out = append(out, path)
-			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	}
-	sort.Strings(out)
-	return out, nil
+	return cliutil.CollectSources(dirs, func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "gocci: "+format+"\n", args...)
+	})
 }
 
 func fatal(err error) {

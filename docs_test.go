@@ -28,6 +28,7 @@ var docFiles = []string{
 	"docs/cli.md",
 	"docs/architecture.md",
 	"docs/serve.md",
+	"docs/hpc.md",
 }
 
 type snippet struct {

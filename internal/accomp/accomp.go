@@ -7,8 +7,12 @@
 package accomp
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 )
 
 // Directive is a parsed OpenACC (or OpenMP) pragma line body: the text after
@@ -192,6 +196,40 @@ var clauseMap = map[string]string{
 	"seq":           "",
 	"independent":   "",
 	"auto":          "",
+}
+
+var (
+	fpOnce sync.Once
+	fp     string
+)
+
+// Fingerprint returns a short stable hash of the translation tables. Script
+// handlers that call into this package fold it into their declared version
+// (batch.RegisterScriptVersioned), so editing a table entry invalidates
+// every cached outcome the translator helped produce.
+func Fingerprint() string {
+	fpOnce.Do(func() {
+		h := sha256.New()
+		names := make([]string, 0, len(directiveMap))
+		for name := range directiveMap {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			m := directiveMap[name]
+			fmt.Fprintf(h, "d:%s=%s|%s\n", name, m[Host], m[Offload])
+		}
+		names = names[:0]
+		for name := range clauseMap {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(h, "c:%s=%s\n", name, clauseMap[name])
+		}
+		fp = hex.EncodeToString(h.Sum(nil))[:12]
+	})
+	return fp
 }
 
 // Warning describes a directive or clause the translator dropped or

@@ -22,6 +22,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/cast"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/diff"
 	"repro/internal/index"
 	"repro/internal/smpl"
+	"repro/internal/verify"
 )
 
 // Options configures a batch run.
@@ -70,6 +72,15 @@ type Options struct {
 	// either way; the knob exists for debugging and differential testing,
 	// so it is excluded from the result-cache fingerprint.
 	NoFuncCache bool
+	// Verify runs the post-transform safety checker (internal/verify) on
+	// every file a patch changed: capture-avoidance and def-use checks for
+	// rewritten identifiers, pragma round-trip checks for directive
+	// translations, and an output re-parse. An unsafe finding demotes the
+	// edit — the file's output reverts to its input and the findings ride
+	// the result as structured warnings. Verify mode (and the checker
+	// version) keys the result cache, so verified and unverified runs never
+	// share cached outcomes.
+	Verify bool
 }
 
 // fingerprint canonicalizes every result-affecting engine option into the
@@ -86,6 +97,62 @@ func fingerprint(o core.Options) string {
 	return fmt.Sprintf("cpp=%v,std=%d,cuda=%v,ctl=%v,seqdots=%v,maxenvs=%d,maxmatch=%d,D=%s",
 		o.CPlusPlus, o.Std, o.CUDA, o.UseCTL, o.SeqDots, maxEnvs, o.MaxMatchesPerRule,
 		strings.Join(defines, ";"))
+}
+
+// keyFingerprint extends the engine fingerprint with every result-affecting
+// input that lives outside the patch text: verify mode (with the checker's
+// version, so changing the checks invalidates cached verify decisions) and
+// the declared versions of native Go script handlers (so a re-versioned
+// handler invalidates every outcome it helped produce).
+func keyFingerprint(o core.Options, verifyOn bool, scriptVers map[string]string) string {
+	fp := fingerprint(o)
+	if verifyOn {
+		fp += ",verify=" + verify.Version
+	}
+	if len(scriptVers) > 0 {
+		rules := make([]string, 0, len(scriptVers))
+		for rule := range scriptVers {
+			rules = append(rules, rule)
+		}
+		sort.Strings(rules)
+		var sb strings.Builder
+		for i, rule := range rules {
+			if i > 0 {
+				sb.WriteByte(';')
+			}
+			sb.WriteString(rule)
+			sb.WriteByte(':')
+			sb.WriteString(scriptVers[rule])
+		}
+		fp += ",scripts=" + sb.String()
+	}
+	return fp
+}
+
+// verifyOptions maps the engine dialect onto the checker's.
+func verifyOptions(o core.Options) verify.Options {
+	return verify.Options{CPlusPlus: o.CPlusPlus, Std: o.Std, CUDA: o.CUDA}
+}
+
+// storeWarnings converts checker findings to their cache form.
+func storeWarnings(warns []verify.Warning) []cache.Warning {
+	out := make([]cache.Warning, len(warns))
+	for i, w := range warns {
+		out[i] = cache.Warning{Code: w.Code, Func: w.Func, Message: w.Message, Unsafe: w.Unsafe}
+	}
+	return out
+}
+
+// loadWarnings converts cached findings back to checker form.
+func loadWarnings(ws []cache.Warning) []verify.Warning {
+	if len(ws) == 0 {
+		return nil
+	}
+	out := make([]verify.Warning, len(ws))
+	for i, w := range ws {
+		out[i] = verify.Warning{Code: w.Code, Func: w.Func, Message: w.Message, Unsafe: w.Unsafe}
+	}
+	return out
 }
 
 // FileResult is the outcome for one input file.
@@ -123,6 +190,13 @@ type FileResult struct {
 	// FuncsCached counts this file's function segments replayed from the
 	// function-granular result cache.
 	FuncsCached int
+	// Warnings are the post-transform verifier's findings for this file
+	// (only ever set under Options.Verify).
+	Warnings []verify.Warning
+	// Demoted reports that an unsafe finding reverted the edit: MatchCount
+	// still records what matched, but Output equals the input and Diff is
+	// empty.
+	Demoted bool
 	// Err is the per-file failure (parse error, script error); other files
 	// in the batch are unaffected.
 	Err error
@@ -153,6 +227,10 @@ type Stats struct {
 	// vs replayed from the function-granular cache across all files.
 	FuncsMatched int
 	FuncsCached  int
+	// Demoted counts files whose edit the verifier reverted; Warnings
+	// totals the verifier findings across all files.
+	Demoted  int
+	Warnings int
 }
 
 // Runner applies one compiled patch across file sets.
@@ -160,17 +238,26 @@ type Runner struct {
 	compiled *core.Compiled
 	opts     Options
 	scripts  map[string]core.ScriptFunc
+	// scriptVers holds the declared version of each script handler
+	// registered through RegisterScriptVersioned; handlers registered
+	// without a version never appear here, which is what disables the
+	// result cache (see resultCacheable).
+	scriptVers map[string]string
 	// filter is the per-run required-atom prefilter (nil when disabled):
 	// workers consult it on raw file bytes before parsing, and skip files
 	// no rule could possibly fire on.
 	filter *index.Filter
 	// store is the cache the run reads and writes through (nil when
 	// disabled), disk the *cache.Cache opened from Options.CacheDir for
-	// status reporting (nil when the caller supplied Options.Store), and
-	// resultKey this patch+options pair's result-cache key.
-	store     cache.Store
-	disk      *cache.Cache
+	// status reporting (nil when the caller supplied Options.Store).
+	store cache.Store
+	disk  *cache.Cache
+	// resultKey is this patch+options+scripts tuple's result-cache key,
+	// computed lazily on first use (keyOnce) because script registration
+	// happens after construction.
 	resultKey string
+	keyOnce   sync.Once
+	patchSrc  string
 	// fn drives function-granular processing when the patch qualifies and
 	// Options.NoFuncCache is off; nil otherwise.
 	fn *fnRunner
@@ -183,10 +270,12 @@ type Runner struct {
 // for any number of Run calls, concurrently if desired.
 func New(patch *smpl.Patch, opts Options) *Runner {
 	r := &Runner{
-		compiled: core.Compile(patch),
-		opts:     opts,
-		scripts:  map[string]core.ScriptFunc{},
-		cfgErr:   core.ValidateDefines(patch, opts.Engine.Defines),
+		compiled:   core.Compile(patch),
+		opts:       opts,
+		scripts:    map[string]core.ScriptFunc{},
+		scriptVers: map[string]string{},
+		patchSrc:   patch.Src,
+		cfgErr:     core.ValidateDefines(patch, opts.Engine.Defines),
 	}
 	if !opts.NoPrefilter {
 		r.filter = r.compiled.Prefilter.ForDefines(opts.Engine.Defines)
@@ -203,9 +292,6 @@ func New(patch *smpl.Patch, opts Options) *Runner {
 			// A typed nil must not become a non-nil Store interface.
 			r.disk, r.store = c, c
 		}
-	}
-	if r.store != nil {
-		r.resultKey = cache.ResultKey(patch.Src, fingerprint(opts.Engine))
 	}
 	if !opts.NoFuncCache {
 		r.fn = newFnRunner(r.compiled, opts.Engine, r.filter)
@@ -233,10 +319,35 @@ func (r *Runner) RegisterScript(rule string, fn core.ScriptFunc) *Runner {
 	return r
 }
 
+// RegisterScriptVersioned is RegisterScript for handlers that declare a
+// version string covering everything their behaviour depends on (code
+// revision, embedded tables, modes). The version joins the result-cache
+// fingerprint, so — unlike RegisterScript — the persistent result cache
+// stays enabled: bumping the version invalidates every cached outcome the
+// handler helped produce, which restores the soundness RegisterScript has
+// to give up.
+func (r *Runner) RegisterScriptVersioned(rule, version string, fn core.ScriptFunc) *Runner {
+	r.scripts[rule] = fn
+	r.scriptVers[rule] = version
+	return r
+}
+
 // resultCacheable reports whether per-file results may be persisted and
-// replayed for this runner.
+// replayed for this runner: a store must be open and every registered Go
+// handler must have declared a version.
 func (r *Runner) resultCacheable() bool {
-	return r.store != nil && len(r.scripts) == 0
+	return r.store != nil && len(r.scripts) == len(r.scriptVers)
+}
+
+// key returns this runner's result-cache key, computed on first use so
+// that script handlers registered after construction are reflected in it.
+// Callers must not register further scripts once a Run has started.
+func (r *Runner) key() string {
+	r.keyOnce.Do(func() {
+		r.resultKey = cache.ResultKey(r.patchSrc,
+			keyFingerprint(r.opts.Engine, r.opts.Verify, r.scriptVers))
+	})
+	return r.resultKey
 }
 
 // workers resolves the effective pool size for n files.
@@ -306,7 +417,7 @@ func (r *Runner) processOne(eng *core.Engine, get func(int) (core.SourceFile, er
 	fileHash := ""
 	if r.resultCacheable() {
 		fileHash = cache.HashString(f.Src)
-		if rec, ok := r.store.Result(r.resultKey, fileHash); ok {
+		if rec, ok := r.store.Result(r.key(), fileHash); ok {
 			return replay(idx, f, rec)
 		}
 	}
@@ -324,10 +435,18 @@ func (r *Runner) processOne(eng *core.Engine, get func(int) (core.SourceFile, er
 	} else {
 		fr = r.applyFile(eng, f, idx)
 	}
+	if r.opts.Verify && fr.Err == nil && fr.Output != f.Src {
+		fr.Warnings = verify.Check(f.Name, f.Src, fr.Output, verifyOptions(r.opts.Engine))
+		if verify.Unsafe(fr.Warnings) {
+			fr.Demoted = true
+			fr.Output = f.Src
+			fr.Diff = ""
+		}
+	}
 	if fileHash != "" && fr.Err == nil {
 		// Errors are never cached: a parse failure is cheap to rediscover
 		// and the user is likely editing the file to fix it.
-		r.store.PutResult(r.resultKey, fileHash, record(fr, f.Src))
+		r.store.PutResult(r.key(), fileHash, record(fr, f.Src))
 	}
 	return fr
 }
@@ -359,6 +478,8 @@ func record(fr FileResult, input string) *cache.Record {
 		MatchCount:    fr.MatchCount,
 		Skipped:       fr.Skipped,
 		EnvsTruncated: fr.EnvsTruncated,
+		Warnings:      storeWarnings(fr.Warnings),
+		Demoted:       fr.Demoted,
 	}
 	if fr.Output != input {
 		rec.Changed = true
@@ -375,6 +496,8 @@ func replay(idx int, f core.SourceFile, rec *cache.Record) FileResult {
 		Index: idx, Name: f.Name, Output: f.Src,
 		MatchCount: rec.MatchCount, Cached: true,
 		EnvsTruncated: rec.EnvsTruncated,
+		Warnings:      loadWarnings(rec.Warnings),
+		Demoted:       rec.Demoted,
 	}
 	if fr.MatchCount == nil {
 		fr.MatchCount = map[string]int{}
@@ -426,6 +549,10 @@ func (r *Runner) collect(run func(func(FileResult) bool), fn func(FileResult) er
 			}
 			st.FuncsMatched += fr.FuncsMatched
 			st.FuncsCached += fr.FuncsCached
+			if fr.Demoted {
+				st.Demoted++
+			}
+			st.Warnings += len(fr.Warnings)
 		}
 		if fn != nil {
 			if err := fn(fr); err != nil {
@@ -455,7 +582,7 @@ func (r *Runner) applyFile(eng *core.Engine, f core.SourceFile, idx int) FileRes
 	var store cache.Store
 	key := ""
 	if r.resultCacheable() {
-		store, key = r.store, r.resultKey
+		store, key = r.store, r.key()
 	}
 	if out, ok := r.fn.apply(eng, f.Name, f.Src, parsed, store, key); ok {
 		return FileResult{

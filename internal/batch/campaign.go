@@ -17,12 +17,14 @@ package batch
 import (
 	"fmt"
 	"os"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/cparse"
 	"repro/internal/index"
 	"repro/internal/smpl"
+	"repro/internal/verify"
 )
 
 // campaignPatch is one compiled member of a campaign.
@@ -34,7 +36,9 @@ type campaignPatch struct {
 	// names this patch declares virtual: a campaign-wide -D set may mix
 	// names for different member patches.
 	engOpts core.Options
-	// key is this (patch, options) pair's result-cache key.
+	// key is this (patch, options, scripts) tuple's result-cache key,
+	// filled lazily at run start (Campaign.keys) so script handlers
+	// registered after construction are reflected in it.
 	key string
 	// fn drives function-granular processing for this member when it
 	// qualifies (core.FunctionLocal); nil otherwise.
@@ -46,6 +50,11 @@ type Campaign struct {
 	patches []*campaignPatch
 	opts    Options
 	scripts map[string]core.ScriptFunc
+	// scriptVers mirrors Runner.scriptVers: declared versions of handlers
+	// registered through RegisterScriptVersioned, keyed into every member's
+	// result-cache key.
+	scriptVers map[string]string
+	keyOnce    sync.Once
 	// store is the cache the run reads and writes through (nil when caching
 	// is disabled); disk is the *cache.Cache opened from Options.CacheDir,
 	// kept separately for status reporting (nil when the store was supplied
@@ -61,7 +70,7 @@ type Campaign struct {
 // (running the members as separate per-patch invocations would require
 // per-patch -D sets — the campaign derives them).
 func NewCampaign(patches []*smpl.Patch, opts Options) *Campaign {
-	c := &Campaign{opts: opts, scripts: map[string]core.ScriptFunc{}}
+	c := &Campaign{opts: opts, scripts: map[string]core.ScriptFunc{}, scriptVers: map[string]string{}}
 	if len(patches) == 0 {
 		c.cfgErr = fmt.Errorf("campaign: no patches given")
 		return c
@@ -94,9 +103,6 @@ func NewCampaign(patches []*smpl.Patch, opts Options) *Campaign {
 		cp.engOpts.Defines = intersectDefines(opts.Engine.Defines, p.Virtuals)
 		if !opts.NoPrefilter {
 			cp.filter = cp.compiled.Prefilter.ForDefines(cp.engOpts.Defines)
-		}
-		if c.store != nil {
-			cp.key = cache.ResultKey(p.Src, fingerprint(cp.engOpts))
 		}
 		if !opts.NoFuncCache {
 			cp.fn = newFnRunner(cp.compiled, cp.engOpts, cp.filter)
@@ -134,8 +140,33 @@ func (c *Campaign) RegisterScript(rule string, fn core.ScriptFunc) *Campaign {
 	return c
 }
 
+// RegisterScriptVersioned is RegisterScript for handlers that declare a
+// version covering everything their behaviour depends on; the version joins
+// every member's result-cache key, keeping the result cache enabled (see
+// Runner.RegisterScriptVersioned).
+func (c *Campaign) RegisterScriptVersioned(rule, version string, fn core.ScriptFunc) *Campaign {
+	c.scripts[rule] = fn
+	c.scriptVers[rule] = version
+	return c
+}
+
 func (c *Campaign) resultCacheable() bool {
-	return c.store != nil && len(c.scripts) == 0
+	return c.store != nil && len(c.scripts) == len(c.scriptVers)
+}
+
+// keys fills every member's result-cache key on first use (run start),
+// folding in verify mode and registered script versions. Callers must not
+// register further scripts once a run has started.
+func (c *Campaign) keys() {
+	c.keyOnce.Do(func() {
+		if c.store == nil {
+			return
+		}
+		for _, cp := range c.patches {
+			cp.key = cache.ResultKey(cp.patch.Src,
+				keyFingerprint(cp.engOpts, c.opts.Verify, c.scriptVers))
+		}
+	})
 }
 
 // PatchOutcome is one member patch's effect on one file.
@@ -159,6 +190,13 @@ type PatchOutcome struct {
 	// (both 0 on the file-level path).
 	FuncsMatched int
 	FuncsCached  int
+	// Warnings are the post-transform verifier's findings for this patch on
+	// this file (only ever set under Options.Verify).
+	Warnings []verify.Warning
+	// Demoted reports that an unsafe finding reverted this patch's edit:
+	// MatchCount still records what matched, but Changed is false and later
+	// members saw the text this patch received.
+	Demoted bool
 }
 
 // Matches is the total number of rule matches by this patch in the file.
@@ -212,6 +250,10 @@ type PatchStats struct {
 	// vs replayed from the function-granular cache across all files.
 	FuncsMatched int
 	FuncsCached  int
+	// Demoted counts files where the verifier reverted this patch's edit;
+	// Warnings totals its verifier findings across all files.
+	Demoted  int
+	Warnings int
 }
 
 // CampaignStats aggregates a completed campaign run.
@@ -255,6 +297,7 @@ func (c *Campaign) run(n int, get func(int) *FileState, yield func(CampaignFileR
 	if n == 0 {
 		return
 	}
+	c.keys()
 	workers := c.workers(n)
 	window := c.opts.Window
 	if window <= 0 {
@@ -283,6 +326,26 @@ func (c *Campaign) put(cp *campaignPatch, fileHash string, rec *cache.Record) {
 		return
 	}
 	c.store.PutResult(cp.key, fileHash, rec)
+}
+
+// verifyOutcome runs the post-transform checker over one member's edit
+// (before → after), recording the findings on both the live outcome and its
+// cache record. An unsafe finding demotes the edit — the member's Changed is
+// cleared on both, and the returned text (what later members see) reverts to
+// before. Only called when the member actually changed the text.
+func (c *Campaign) verifyOutcome(name, before, after string, o *PatchOutcome, rec *cache.Record) string {
+	if !c.opts.Verify {
+		return after
+	}
+	warns := verify.Check(name, before, after, verifyOptions(c.opts.Engine))
+	o.Warnings = warns
+	rec.Warnings = storeWarnings(warns)
+	if verify.Unsafe(warns) {
+		o.Demoted, o.Changed = true, false
+		rec.Demoted, rec.Changed, rec.Output = true, false, ""
+		return before
+	}
+	return after
 }
 
 // Collect runs the campaign and accumulates aggregate and per-patch
@@ -335,6 +398,10 @@ func (c *Campaign) collectC(run func(func(CampaignFileResult) bool), fn func(Cam
 			}
 			ps.FuncsMatched += o.FuncsMatched
 			ps.FuncsCached += o.FuncsCached
+			if o.Demoted {
+				ps.Demoted++
+			}
+			ps.Warnings += len(o.Warnings)
 		}
 		if fn != nil {
 			if err := fn(fr); err != nil {

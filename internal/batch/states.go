@@ -173,6 +173,8 @@ func (c *Campaign) processState(engines []*core.Engine, popts cparse.Options, st
 					o.MatchCount = map[string]int{}
 				}
 				o.EnvsTruncated = rec.EnvsTruncated
+				o.Warnings = loadWarnings(rec.Warnings)
+				o.Demoted = rec.Demoted
 				if rec.Changed {
 					o.Changed = true
 					cur, curLoaded, curIsInput = rec.Output, true, false
@@ -220,13 +222,15 @@ func (c *Campaign) processState(engines []*core.Engine, popts cparse.Options, st
 				o.FuncsMatched = out.Matched
 				o.FuncsCached = out.Cached
 				rec := &cache.Record{MatchCount: out.MatchCount}
+				next := out.Output
 				if out.Changed {
 					rec.Changed = true
 					rec.Output = out.Output
+					next = c.verifyOutcome(st.Name, cur, out.Output, &o, rec)
 				}
 				c.put(cp, curHash, rec)
-				if out.Changed {
-					cur, curLoaded, curIsInput = out.Output, true, false
+				if o.Changed {
+					cur, curLoaded, curIsInput = next, true, false
 					curHash, words, parsed = "", nil, nil
 				}
 				fr.Patches = append(fr.Patches, o)
@@ -247,6 +251,7 @@ func (c *Campaign) processState(engines []*core.Engine, popts cparse.Options, st
 		if o.Changed {
 			rec.Changed = true
 			rec.Output = out
+			out = c.verifyOutcome(st.Name, cur, out, &o, rec)
 		}
 		c.put(cp, curHash, rec)
 		if o.Changed {

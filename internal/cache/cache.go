@@ -192,6 +192,22 @@ type Record struct {
 	Skipped bool `json:"skipped,omitempty"`
 	// EnvsTruncated records that the run hit the MaxEnvs cap.
 	EnvsTruncated bool `json:"envs_truncated,omitempty"`
+	// Warnings and Demoted record a verify-mode outcome: the checker's
+	// findings and whether an unsafe finding reverted the edit. Only ever
+	// set under verify-keyed result keys, so non-verify runs never replay
+	// them.
+	Warnings []Warning `json:"warnings,omitempty"`
+	Demoted  bool      `json:"demoted,omitempty"`
+}
+
+// Warning is the stored form of one post-transform verifier finding (the
+// wire mirror of verify.Warning, kept here so the cache stays free of the
+// checker's dependencies).
+type Warning struct {
+	Code    string `json:"code"`
+	Func    string `json:"func,omitempty"`
+	Message string `json:"message"`
+	Unsafe  bool   `json:"unsafe,omitempty"`
 }
 
 // Result returns the cached outcome of applying (key) to a file.

@@ -50,12 +50,21 @@ var Functions = map[string]string{
 	// streams
 	"cudaStreamCreate":                   "hipStreamCreate",
 	"cudaStreamCreateWithFlags":          "hipStreamCreateWithFlags",
+	"cudaStreamCreateWithPriority":       "hipStreamCreateWithPriority",
 	"cudaStreamDestroy":                  "hipStreamDestroy",
 	"cudaStreamSynchronize":              "hipStreamSynchronize",
 	"cudaStreamWaitEvent":                "hipStreamWaitEvent",
 	"cudaStreamQuery":                    "hipStreamQuery",
 	"cudaStreamAddCallback":              "hipStreamAddCallback",
+	"cudaStreamGetFlags":                 "hipStreamGetFlags",
+	"cudaStreamGetPriority":              "hipStreamGetPriority",
+	"cudaStreamBeginCapture":             "hipStreamBeginCapture",
+	"cudaStreamEndCapture":               "hipStreamEndCapture",
+	"cudaStreamIsCapturing":              "hipStreamIsCapturing",
+	"cudaDeviceGetStreamPriorityRange":   "hipDeviceGetStreamPriorityRange",
+	"cudaStreamAttachMemAsync":           "hipStreamAttachMemAsync",
 	"cudaLaunchKernel":                   "hipLaunchKernel",
+	"cudaLaunchHostFunc":                 "hipLaunchHostFunc",
 	"cudaFuncGetAttributes":              "hipFuncGetAttributes",
 	"cudaOccupancyMaxPotentialBlockSize": "hipOccupancyMaxPotentialBlockSize",
 
@@ -64,6 +73,7 @@ var Functions = map[string]string{
 	"cudaEventCreateWithFlags": "hipEventCreateWithFlags",
 	"cudaEventDestroy":         "hipEventDestroy",
 	"cudaEventRecord":          "hipEventRecord",
+	"cudaEventRecordWithFlags": "hipEventRecordWithFlags",
 	"cudaEventSynchronize":     "hipEventSynchronize",
 	"cudaEventElapsedTime":     "hipEventElapsedTime",
 	"cudaEventQuery":           "hipEventQuery",
@@ -105,46 +115,58 @@ var Functions = map[string]string{
 
 // Types maps CUDA type names to HIP equivalents.
 var Types = map[string]string{
-	"cudaError_t":           "hipError_t",
-	"cudaError":             "hipError_t",
-	"cudaStream_t":          "hipStream_t",
-	"cudaEvent_t":           "hipEvent_t",
-	"cudaDeviceProp":        "hipDeviceProp_t",
-	"cudaMemcpyKind":        "hipMemcpyKind",
-	"cudaFuncAttributes":    "hipFuncAttributes",
-	"cudaArray_t":           "hipArray_t",
-	"cudaChannelFormatDesc": "hipChannelFormatDesc",
-	"curandState":           "rocrand_state_xorwow",
-	"curandState_t":         "rocrand_state_xorwow",
-	"curandGenerator_t":     "hiprandGenerator_t",
-	"cublasHandle_t":        "hipblasHandle_t",
-	"cublasStatus_t":        "hipblasStatus_t",
-	"cublasOperation_t":     "hipblasOperation_t",
-	"__half":                "rocblas_half",
-	"__half2":               "rocblas_half2",
-	"dim3":                  "dim3",
+	"cudaError_t":             "hipError_t",
+	"cudaError":               "hipError_t",
+	"cudaStream_t":            "hipStream_t",
+	"cudaEvent_t":             "hipEvent_t",
+	"cudaDeviceProp":          "hipDeviceProp_t",
+	"cudaMemcpyKind":          "hipMemcpyKind",
+	"cudaStreamCaptureMode":   "hipStreamCaptureMode",
+	"cudaStreamCaptureStatus": "hipStreamCaptureStatus",
+	"cudaGraph_t":             "hipGraph_t",
+	"cudaHostFn_t":            "hipHostFn_t",
+	"cudaFuncAttributes":      "hipFuncAttributes",
+	"cudaArray_t":             "hipArray_t",
+	"cudaChannelFormatDesc":   "hipChannelFormatDesc",
+	"curandState":             "rocrand_state_xorwow",
+	"curandState_t":           "rocrand_state_xorwow",
+	"curandGenerator_t":       "hiprandGenerator_t",
+	"cublasHandle_t":          "hipblasHandle_t",
+	"cublasStatus_t":          "hipblasStatus_t",
+	"cublasOperation_t":       "hipblasOperation_t",
+	"__half":                  "rocblas_half",
+	"__half2":                 "rocblas_half2",
+	"dim3":                    "dim3",
 }
 
 // Enums maps CUDA enumerator constants to HIP equivalents.
 var Enums = map[string]string{
-	"cudaSuccess":               "hipSuccess",
-	"cudaErrorMemoryAllocation": "hipErrorOutOfMemory",
-	"cudaErrorInvalidValue":     "hipErrorInvalidValue",
-	"cudaMemcpyHostToDevice":    "hipMemcpyHostToDevice",
-	"cudaMemcpyDeviceToHost":    "hipMemcpyDeviceToHost",
-	"cudaMemcpyDeviceToDevice":  "hipMemcpyDeviceToDevice",
-	"cudaMemcpyHostToHost":      "hipMemcpyHostToHost",
-	"cudaMemcpyDefault":         "hipMemcpyDefault",
-	"cudaStreamNonBlocking":     "hipStreamNonBlocking",
-	"cudaStreamDefault":         "hipStreamDefault",
-	"cudaEventDefault":          "hipEventDefault",
-	"cudaEventBlockingSync":     "hipEventBlockingSync",
-	"cudaEventDisableTiming":    "hipEventDisableTiming",
-	"cudaHostRegisterDefault":   "hipHostRegisterDefault",
-	"CUBLAS_OP_N":               "HIPBLAS_OP_N",
-	"CUBLAS_OP_T":               "HIPBLAS_OP_T",
-	"CUBLAS_STATUS_SUCCESS":     "HIPBLAS_STATUS_SUCCESS",
-	"CURAND_RNG_PSEUDO_DEFAULT": "HIPRAND_RNG_PSEUDO_DEFAULT",
+	"cudaSuccess":                      "hipSuccess",
+	"cudaErrorMemoryAllocation":        "hipErrorOutOfMemory",
+	"cudaErrorInvalidValue":            "hipErrorInvalidValue",
+	"cudaMemcpyHostToDevice":           "hipMemcpyHostToDevice",
+	"cudaMemcpyDeviceToHost":           "hipMemcpyDeviceToHost",
+	"cudaMemcpyDeviceToDevice":         "hipMemcpyDeviceToDevice",
+	"cudaMemcpyHostToHost":             "hipMemcpyHostToHost",
+	"cudaMemcpyDefault":                "hipMemcpyDefault",
+	"cudaStreamNonBlocking":            "hipStreamNonBlocking",
+	"cudaStreamDefault":                "hipStreamDefault",
+	"cudaStreamCaptureModeGlobal":      "hipStreamCaptureModeGlobal",
+	"cudaStreamCaptureModeThreadLocal": "hipStreamCaptureModeThreadLocal",
+	"cudaStreamCaptureModeRelaxed":     "hipStreamCaptureModeRelaxed",
+	"cudaStreamCaptureStatusNone":      "hipStreamCaptureStatusNone",
+	"cudaStreamCaptureStatusActive":    "hipStreamCaptureStatusActive",
+	"cudaEventDefault":                 "hipEventDefault",
+	"cudaEventBlockingSync":            "hipEventBlockingSync",
+	"cudaEventDisableTiming":           "hipEventDisableTiming",
+	"cudaEventInterprocess":            "hipEventInterprocess",
+	"cudaEventRecordDefault":           "hipEventRecordDefault",
+	"cudaEventRecordExternal":          "hipEventRecordExternal",
+	"cudaHostRegisterDefault":          "hipHostRegisterDefault",
+	"CUBLAS_OP_N":                      "HIPBLAS_OP_N",
+	"CUBLAS_OP_T":                      "HIPBLAS_OP_T",
+	"CUBLAS_STATUS_SUCCESS":            "HIPBLAS_STATUS_SUCCESS",
+	"CURAND_RNG_PSEUDO_DEFAULT":        "HIPRAND_RNG_PSEUDO_DEFAULT",
 }
 
 // Headers maps CUDA header paths to HIP equivalents.

@@ -1,0 +1,66 @@
+// The acc2omp campaign: the paper's "Translation of directive-based APIs"
+// use case (patchlib L11) shipped as a batch campaign. The single member
+// patch matches every "#pragma acc" line, hands the directive body to the
+// live translator (internal/accomp) through a Go script hook, and replaces
+// the pragma with the OpenMP form the translator returns.
+
+package hpc
+
+import (
+	"repro/internal/accomp"
+	"repro/internal/minipy"
+)
+
+// acc2ompPatch is the L11 semantic patch: match the pragma, translate its
+// body in the script rule, substitute the result.
+const acc2ompPatch = `@moa@
+pragmainfo pi;
+@@
+#pragma acc pi
+
+@script:go o2o@
+pi << moa.pi;
+po;
+@@
+(translated by internal/accomp)
+
+@@
+pragmainfo moa.pi;
+pragmainfo o2o.po;
+@@
+- #pragma acc pi
++ #pragma omp po
+`
+
+// acc2omp builds the OpenACC→OpenMP campaign for one translation mode. The
+// o2o hook's version folds in the mode and the translation-table
+// fingerprint, so editing a directive or clause mapping invalidates every
+// cached outcome the old tables produced.
+func acc2omp(offload bool) *Campaign {
+	mode, name, target := accomp.Host, "acc2omp", "host threading"
+	if offload {
+		mode, name, target = accomp.Offload, "acc2omp-offload", "device offloading"
+	}
+	return &Campaign{
+		Name:    name,
+		Title:   "OpenACC directives to OpenMP (" + target + ")",
+		Version: "1",
+		members: []member{{name: name + ".cocci", text: acc2ompPatch}},
+		hooks: []hook{{
+			rule:    "o2o",
+			version: name + ":" + accomp.Fingerprint(),
+			fn: func(in map[string]string) (map[string]string, error) {
+				omp, _, err := accomp.Translate(in["pi"], mode)
+				if err != nil || omp == "" {
+					// A directive the tables cannot translate (or one whose
+					// translation is "remove the pragma") is left untouched:
+					// a KeyError skips this environment without output
+					// bindings, so the transform rule never fires on it,
+					// instead of failing the whole file.
+					return nil, &minipy.KeyError{Key: in["pi"]}
+				}
+				return map[string]string{"po": omp}, nil
+			},
+		}},
+	}
+}

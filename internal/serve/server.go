@@ -206,6 +206,11 @@ type PatchLine struct {
 	// matched fresh vs replayed when the member ran function-granularly.
 	FuncsMatched int `json:"functions_matched,omitempty"`
 	FuncsCached  int `json:"functions_cached,omitempty"`
+	// Warnings are the post-transform verifier's findings (rendered); set
+	// only when the session runs with Options.Verify. Demoted reports that
+	// an unsafe finding reverted this member's edit.
+	Warnings []string `json:"warnings,omitempty"`
+	Demoted  bool     `json:"demoted,omitempty"`
 }
 
 // RunSummary is the trailing NDJSON line of a sweep.
@@ -219,6 +224,8 @@ type RunSummary struct {
 	FuncsCached  int            `json:"functions_cached"`
 	Parsed       int            `json:"parsed"`
 	Read         int            `json:"read"`
+	Demoted      int            `json:"demoted,omitempty"`
+	Warnings     int            `json:"warnings,omitempty"`
 	ElapsedMS    int64          `json:"elapsed_ms"`
 	PerPatch     []PatchSummary `json:"per_patch,omitempty"`
 }
@@ -237,6 +244,10 @@ type PatchSummary struct {
 	// counters across the sweep.
 	FuncsMatched int `json:"functions_matched"`
 	FuncsCached  int `json:"functions_cached"`
+	// Demoted counts files where the verifier reverted this member's edit;
+	// Warnings totals its verifier findings (Options.Verify runs only).
+	Demoted  int `json:"demoted,omitempty"`
+	Warnings int `json:"warnings,omitempty"`
 }
 
 func patchSummaries(per []batch.PatchStats) []PatchSummary {
@@ -251,6 +262,8 @@ func patchSummaries(per []batch.PatchStats) []PatchSummary {
 			Cached:       ps.Cached,
 			FuncsMatched: ps.FuncsMatched,
 			FuncsCached:  ps.FuncsCached,
+			Demoted:      ps.Demoted,
+			Warnings:     ps.Warnings,
 		}
 	}
 	return out
@@ -268,7 +281,7 @@ func fileLine(fr batch.CampaignFileResult, includeOutput bool) RunLine {
 		line.Output = &out
 	}
 	for _, o := range fr.Patches {
-		line.Patches = append(line.Patches, PatchLine{
+		pl := PatchLine{
 			Patch:        o.Patch,
 			Matches:      o.Matches(),
 			Changed:      o.Changed,
@@ -276,7 +289,12 @@ func fileLine(fr batch.CampaignFileResult, includeOutput bool) RunLine {
 			Cached:       o.Cached,
 			FuncsMatched: o.FuncsMatched,
 			FuncsCached:  o.FuncsCached,
-		})
+			Demoted:      o.Demoted,
+		}
+		for _, w := range o.Warnings {
+			pl.Warnings = append(pl.Warnings, w.String())
+		}
+		line.Patches = append(line.Patches, pl)
 	}
 	return line
 }
@@ -320,6 +338,8 @@ func (srv *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		FuncsCached:  stats.FuncsCached,
 		Parsed:       stats.Parsed,
 		Read:         stats.Read,
+		Demoted:      stats.Demoted,
+		Warnings:     stats.Warnings,
 		ElapsedMS:    time.Since(start).Milliseconds(),
 		PerPatch:     patchSummaries(stats.PerPatch),
 	}})
@@ -507,6 +527,8 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			{"functions_cached_total", st.FuncsCached},
 			{"files_parsed_total", st.FilesParsed},
 			{"files_read_total", st.FilesRead},
+			{"edits_demoted_total", st.Demoted},
+			{"verify_warnings_total", st.Warnings},
 			{"ast_cache_entries", int64(st.ASTEntries)},
 			{"ast_cache_hits_total", st.ASTHits},
 			{"ast_cache_misses_total", st.ASTMisses},

@@ -130,6 +130,8 @@ type Session struct {
 	patchSkipped  atomic.Int64
 	fnMatchedC    atomic.Int64
 	fnCachedC     atomic.Int64
+	demoted       atomic.Int64
+	warningsC     atomic.Int64
 	parsed        atomic.Int64
 	read          atomic.Int64
 	invalidations atomic.Int64
@@ -294,6 +296,10 @@ type RunStats struct {
 	// bytes had to be read at all.
 	Parsed int
 	Read   int
+	// Demoted and Warnings total the post-transform verifier's demotions
+	// and findings across the campaign (Options.Verify runs only).
+	Demoted  int
+	Warnings int
 }
 
 // Run sweeps the whole corpus through the campaign, streaming per-file
@@ -332,6 +338,8 @@ func (s *Session) account(st batch.CampaignStats, states []*batch.FileState) Run
 		out.Skipped += ps.Skipped
 		out.FuncsMatched += ps.FuncsMatched
 		out.FuncsCached += ps.FuncsCached
+		out.Demoted += ps.Demoted
+		out.Warnings += ps.Warnings
 	}
 	for _, fst := range states {
 		if fst.ParsedInput {
@@ -348,6 +356,8 @@ func (s *Session) account(st batch.CampaignStats, states []*batch.FileState) Run
 	s.patchSkipped.Add(int64(out.Skipped))
 	s.fnMatchedC.Add(int64(out.FuncsMatched))
 	s.fnCachedC.Add(int64(out.FuncsCached))
+	s.demoted.Add(int64(out.Demoted))
+	s.warningsC.Add(int64(out.Warnings))
 	return out
 }
 
@@ -417,6 +427,8 @@ func (s *Session) runOneWith(camp *batch.Campaign, st *batch.FileState) (batch.C
 		s.patchSkipped.Add(int64(ps.Skipped))
 		s.fnMatchedC.Add(int64(ps.FuncsMatched))
 		s.fnCachedC.Add(int64(ps.FuncsCached))
+		s.demoted.Add(int64(ps.Demoted))
+		s.warningsC.Add(int64(ps.Warnings))
 	}
 	return out, nil
 }
@@ -444,6 +456,8 @@ type SessionStats struct {
 	PatchSkipped   int64 `json:"patch_results_skipped"`
 	FuncsMatched   int64 `json:"functions_matched"`
 	FuncsCached    int64 `json:"functions_cached"`
+	Demoted        int64 `json:"edits_demoted"`
+	Warnings       int64 `json:"verify_warnings"`
 	FilesParsed    int64 `json:"files_parsed"`
 	FilesRead      int64 `json:"files_read"`
 
@@ -484,6 +498,8 @@ func (s *Session) Stats() SessionStats {
 		PatchSkipped:   s.patchSkipped.Load(),
 		FuncsMatched:   s.fnMatchedC.Load(),
 		FuncsCached:    s.fnCachedC.Load(),
+		Demoted:        s.demoted.Load(),
+		Warnings:       s.warningsC.Load(),
 		FilesParsed:    s.parsed.Load(),
 		FilesRead:      s.read.Load(),
 		ASTEntries:     s.asts.Len(),

@@ -1,0 +1,116 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCleanEditPasses(t *testing.T) {
+	before := "int f(int n) {\n\tcudaMalloc(&n, 4);\n\treturn n;\n}\n"
+	after := strings.ReplaceAll(before, "cudaMalloc", "hipMalloc")
+	if warns := Check("a.cu", before, after, Options{CPlusPlus: true, CUDA: true}); len(warns) != 0 {
+		t.Fatalf("clean rename warned: %v", warns)
+	}
+}
+
+func TestCaptureAvoidance(t *testing.T) {
+	before := "int f(int n) {\n\tint hipMalloc = 0;\n\tcudaMalloc(&hipMalloc, n);\n\treturn hipMalloc;\n}\n"
+	after := strings.Replace(before, "cudaMalloc(", "hipMalloc(", 1)
+	warns := Check("a.cu", before, after, Options{CPlusPlus: true, CUDA: true})
+	if len(warns) != 1 || warns[0].Code != "capture" || !warns[0].Unsafe {
+		t.Fatalf("want one unsafe capture warning, got %v", warns)
+	}
+	if warns[0].Func != "f" || !strings.Contains(warns[0].Message, "hipMalloc") {
+		t.Errorf("warning lacks context: %+v", warns[0])
+	}
+	if !Unsafe(warns) {
+		t.Error("Unsafe() must report true")
+	}
+}
+
+func TestDefUsePreservation(t *testing.T) {
+	before := "int f(void) {\n\tint acc = 0;\n\tacc = acc + 1;\n\treturn acc;\n}\n"
+	after := strings.Replace(before, "\tint acc = 0;\n", "", 1)
+	warns := Check("a.c", before, after, Options{})
+	if len(warns) != 1 || warns[0].Code != "def-use" || !warns[0].Unsafe {
+		t.Fatalf("want one unsafe def-use warning, got %v", warns)
+	}
+}
+
+func TestParseFailureIsUnsafe(t *testing.T) {
+	before := "int f(void) { return 0; }\n"
+	after := "int f(void) { return 0;\n" // brace dropped by a broken edit
+	warns := Check("a.c", before, after, Options{})
+	if len(warns) != 1 || warns[0].Code != "parse" || !warns[0].Unsafe {
+		t.Fatalf("want one unsafe parse warning, got %v", warns)
+	}
+}
+
+func TestPragmaRoundTripAccepted(t *testing.T) {
+	before := "void f(int n) {\n#pragma acc parallel loop\n\tfor (int i = 0; i < n; ++i) ;\n}\n"
+	after := strings.Replace(before, "#pragma acc parallel loop", "#pragma omp parallel for", 1)
+	if warns := Check("a.c", before, after, Options{}); len(warns) != 0 {
+		t.Fatalf("valid host translation warned: %v", warns)
+	}
+	// The offload form must also be accepted: retranslate tries every mode.
+	after = strings.Replace(before, "#pragma acc parallel loop",
+		"#pragma omp target teams distribute parallel for", 1)
+	if warns := Check("a.c", before, after, Options{}); len(warns) != 0 {
+		t.Fatalf("valid offload translation warned: %v", warns)
+	}
+}
+
+func TestPragmaRoundTripMismatch(t *testing.T) {
+	before := "void f(int n) {\n#pragma acc parallel loop\n\tfor (int i = 0; i < n; ++i) ;\n}\n"
+	after := strings.Replace(before, "#pragma acc parallel loop", "#pragma omp simd", 1)
+	warns := Check("a.c", before, after, Options{})
+	if len(warns) != 1 || warns[0].Code != "pragma-roundtrip" || !warns[0].Unsafe {
+		t.Fatalf("want one unsafe pragma-roundtrip warning, got %v", warns)
+	}
+}
+
+func TestPragmaDropIsUnsafe(t *testing.T) {
+	before := "void f(int n) {\n#pragma acc parallel loop\n\tfor (int i = 0; i < n; ++i) ;\n}\n"
+	after := strings.Replace(before, "#pragma acc parallel loop\n", "", 1)
+	warns := Check("a.c", before, after, Options{})
+	if len(warns) != 1 || warns[0].Code != "pragma-roundtrip" || !warns[0].Unsafe {
+		t.Fatalf("want one unsafe pragma-roundtrip warning, got %v", warns)
+	}
+	if !strings.Contains(warns[0].Message, "not one-to-one") {
+		t.Errorf("message should flag the count mismatch: %s", warns[0].Message)
+	}
+}
+
+func TestPragmaClauseAdvisory(t *testing.T) {
+	// "gang" has no OpenMP equivalent: the translator drops it with a clause
+	// warning, which verify surfaces as advisory (not demoting).
+	before := "void f(int n) {\n#pragma acc parallel loop gang\n\tfor (int i = 0; i < n; ++i) ;\n}\n"
+	after := strings.Replace(before, "#pragma acc parallel loop gang", "#pragma omp parallel for", 1)
+	warns := Check("a.c", before, after, Options{})
+	if len(warns) != 1 || warns[0].Code != "pragma-clause" {
+		t.Fatalf("want one advisory pragma-clause warning, got %v", warns)
+	}
+	if warns[0].Unsafe || Unsafe(warns) {
+		t.Error("clause drops are advisory and must not demote")
+	}
+}
+
+func TestUntouchedPragmasIgnored(t *testing.T) {
+	// Pragmas the patch did not touch stay out of the pairing.
+	before := "void f(int n) {\n#pragma acc parallel loop\n\tfor (int i = 0; i < n; ++i) ;\n#pragma acc update self(n)\n}\n"
+	after := strings.Replace(before, "#pragma acc parallel loop", "#pragma omp parallel for", 1)
+	if warns := Check("a.c", before, after, Options{}); Unsafe(warns) {
+		t.Fatalf("untouched second pragma caused a demotion: %v", warns)
+	}
+}
+
+func TestWarningString(t *testing.T) {
+	w := Warning{Code: "capture", Func: "f", Message: "m"}
+	if got := w.String(); got != "[capture] f: m" {
+		t.Errorf("got %q", got)
+	}
+	w = Warning{Code: "parse", Message: "m"}
+	if got := w.String(); got != "[parse] m" {
+		t.Errorf("got %q", got)
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diff"
 	"repro/internal/smpl"
+	"repro/internal/verify"
 )
 
 // Diff renders the unified diff between two versions of a file with the
@@ -87,6 +88,15 @@ type Options struct {
 	// way; disable it to measure the incremental pipeline's effect or to
 	// force file-level matching. Ignored by the single-threaded Applier.
 	NoFuncCache bool
+	// Verify runs the post-transform safety checker on every file a
+	// BatchApplier or Campaign run changed: capture-avoidance and def-use
+	// checks for rewritten identifiers, pragma round-trip checks for
+	// directive translations, and an output re-parse. An unsafe finding
+	// demotes the edit — the file's output reverts to its input and the
+	// findings ride the result as Warnings. Verify mode keys the result
+	// cache, so verified and unverified runs never share cached outcomes.
+	// Ignored by the single-threaded Applier. See docs/hpc.md.
+	Verify bool
 }
 
 func (o Options) internal() core.Options {
@@ -100,6 +110,7 @@ func (o Options) batch() batch.Options {
 	return batch.Options{
 		Engine: o.internal(), Workers: o.Workers,
 		NoPrefilter: o.NoPrefilter, CacheDir: o.CacheDir, NoFuncCache: o.NoFuncCache,
+		Verify: o.Verify,
 	}
 }
 
@@ -178,6 +189,35 @@ func ParsePatchFile(path string) (*Patch, error) {
 // rule's input bindings to its declared outputs.
 type ScriptFunc func(inputs map[string]string) (map[string]string, error)
 
+// Warning is one finding of the post-transform verifier (Options.Verify).
+type Warning struct {
+	// Code identifies the check: "capture", "def-use", "pragma-roundtrip",
+	// "pragma-clause", or "parse".
+	Code string
+	// Func is the enclosing function's name, "" for file-scope findings.
+	Func string
+	// Message describes the finding.
+	Message string
+	// Unsafe marks findings that demote the edit; advisory findings ride
+	// along without demoting.
+	Unsafe bool
+}
+
+func (w Warning) String() string {
+	return verify.Warning{Code: w.Code, Func: w.Func, Message: w.Message, Unsafe: w.Unsafe}.String()
+}
+
+func publicWarnings(warns []verify.Warning) []Warning {
+	if len(warns) == 0 {
+		return nil
+	}
+	out := make([]Warning, len(warns))
+	for i, w := range warns {
+		out[i] = Warning{Code: w.Code, Func: w.Func, Message: w.Message, Unsafe: w.Unsafe}
+	}
+	return out
+}
+
 // Applier runs one patch over source files.
 type Applier struct {
 	eng *core.Engine
@@ -246,6 +286,13 @@ type FileResult struct {
 	// when the patch or file took the file-level path.
 	FuncsMatched int
 	FuncsCached  int
+	// Warnings are the post-transform verifier's findings for this file
+	// (only ever set under Options.Verify).
+	Warnings []Warning
+	// Demoted reports that an unsafe finding reverted the edit: MatchCount
+	// still records what matched, but Output equals the input and Diff is
+	// empty.
+	Demoted bool
 	// Err is this file's failure; other files in the batch still complete.
 	Err error
 }
@@ -266,6 +313,10 @@ type BatchStats struct {
 	// function segments matched fresh vs replayed across all files.
 	FuncsMatched int
 	FuncsCached  int
+	// Demoted counts files whose edit the verifier reverted; Warnings
+	// totals the verifier findings across all files (Options.Verify).
+	Demoted  int
+	Warnings int
 }
 
 // BatchApplier applies one patch across many files concurrently with a
@@ -290,6 +341,16 @@ func NewBatchApplier(p *Patch, opts Options) *BatchApplier {
 // patch hash the cache keys on); the scan cache stays active.
 func (b *BatchApplier) RegisterScript(rule string, fn ScriptFunc) *BatchApplier {
 	b.r.RegisterScript(rule, core.ScriptFunc(fn))
+	return b
+}
+
+// RegisterScriptVersioned is RegisterScript for handlers that declare a
+// version string covering everything their behaviour depends on (code
+// revision, embedded tables, modes). The version joins the result-cache
+// fingerprint, so the persistent result cache stays enabled: bumping the
+// version invalidates every cached outcome the handler helped produce.
+func (b *BatchApplier) RegisterScriptVersioned(rule, version string, fn ScriptFunc) *BatchApplier {
+	b.r.RegisterScriptVersioned(rule, version, core.ScriptFunc(fn))
 	return b
 }
 
@@ -377,6 +438,8 @@ func publicResult(fr batch.FileResult) FileResult {
 		EnvsTruncated: fr.EnvsTruncated,
 		FuncsMatched:  fr.FuncsMatched,
 		FuncsCached:   fr.FuncsCached,
+		Warnings:      publicWarnings(fr.Warnings),
+		Demoted:       fr.Demoted,
 		Err:           fr.Err,
 	}
 }
@@ -392,6 +455,8 @@ func publicStats(st batch.Stats) BatchStats {
 		Cached:       st.Cached,
 		FuncsMatched: st.FuncsMatched,
 		FuncsCached:  st.FuncsCached,
+		Demoted:      st.Demoted,
+		Warnings:     st.Warnings,
 	}
 }
 
@@ -415,6 +480,12 @@ type PatchOutcome struct {
 	// matched fresh vs replayed by this patch's function-granular pipeline.
 	FuncsMatched int
 	FuncsCached  int
+	// Warnings are the post-transform verifier's findings for this patch on
+	// this file (only ever set under Options.Verify).
+	Warnings []Warning
+	// Demoted reports that an unsafe finding reverted this patch's edit:
+	// later members saw the text this patch received.
+	Demoted bool
 }
 
 // CampaignFileResult is one file's outcome across every patch of a
@@ -452,6 +523,10 @@ type PatchStats struct {
 	// counters across the run.
 	FuncsMatched int
 	FuncsCached  int
+	// Demoted counts files where the verifier reverted this patch's edit;
+	// Warnings totals its verifier findings (Options.Verify).
+	Demoted  int
+	Warnings int
 }
 
 // CampaignStats aggregates a completed campaign run.
@@ -494,6 +569,14 @@ func NewCampaign(patches []*Patch, opts Options) *Campaign {
 // persistent result cache.
 func (c *Campaign) RegisterScript(rule string, fn ScriptFunc) *Campaign {
 	c.c.RegisterScript(rule, core.ScriptFunc(fn))
+	return c
+}
+
+// RegisterScriptVersioned is RegisterScript for handlers that declare a
+// version; the version joins every member's result-cache key, keeping the
+// persistent result cache enabled (see BatchApplier.RegisterScriptVersioned).
+func (c *Campaign) RegisterScriptVersioned(rule, version string, fn ScriptFunc) *Campaign {
+	c.c.RegisterScriptVersioned(rule, version, core.ScriptFunc(fn))
 	return c
 }
 
@@ -552,6 +635,8 @@ func publicCampaignResult(fr batch.CampaignFileResult) CampaignFileResult {
 			EnvsTruncated: o.EnvsTruncated,
 			FuncsMatched:  o.FuncsMatched,
 			FuncsCached:   o.FuncsCached,
+			Warnings:      publicWarnings(o.Warnings),
+			Demoted:       o.Demoted,
 		})
 	}
 	return out
@@ -569,6 +654,8 @@ func publicCampaignStats(st batch.CampaignStats) CampaignStats {
 			Cached:       ps.Cached,
 			FuncsMatched: ps.FuncsMatched,
 			FuncsCached:  ps.FuncsCached,
+			Demoted:      ps.Demoted,
+			Warnings:     ps.Warnings,
 		})
 	}
 	return out

@@ -127,6 +127,10 @@ type ServeRunStats struct {
 	// counts files whose bytes were read at all.
 	Parsed int
 	Read   int
+	// Demoted and Warnings total the post-transform verifier's demotions
+	// and findings across the campaign (Options.Verify runs only).
+	Demoted  int
+	Warnings int
 }
 
 // Run sweeps the whole corpus through the campaign, streaming per-file
@@ -148,6 +152,8 @@ func (s *Session) Run(fn func(CampaignFileResult) error) (ServeRunStats, error) 
 		FuncsCached:   st.FuncsCached,
 		Parsed:        st.Parsed,
 		Read:          st.Read,
+		Demoted:       st.Demoted,
+		Warnings:      st.Warnings,
 	}, err
 }
 

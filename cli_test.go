@@ -684,3 +684,37 @@ func TestCLIServe(t *testing.T) {
 		t.Errorf("metrics: %s", m)
 	}
 }
+
+func TestCLIGocciInfer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gocci-infer")
+	cocci := filepath.Join(t.TempDir(), "inferred.cocci")
+	out, err := exec.Command(bin, "-o", cocci, "--rule", "lift",
+		"testdata/infer_before.c", "testdata/infer_after.c").CombinedOutput()
+	if err != nil {
+		t.Fatalf("gocci-infer: %v\n%s", err, out)
+	}
+	b, err := os.ReadFile(cocci)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := string(b)
+	for _, w := range []string{"@lift@", "- ", "+ ", "new_api"} {
+		if !strings.Contains(sp, w) {
+			t.Errorf("inferred patch missing %q:\n%s", w, sp)
+		}
+	}
+
+	// The emitted .cocci must be directly usable by the gocci front end and
+	// reproduce the demonstrated edit.
+	gocci := buildTool(t, "gocci")
+	diff, err := exec.Command(gocci, "--sp-file", cocci, "testdata/infer_before.c").CombinedOutput()
+	if err != nil {
+		t.Fatalf("gocci with inferred patch: %v\n%s", err, diff)
+	}
+	if !strings.Contains(string(diff), "new_api") {
+		t.Errorf("inferred patch did not rewrite the before file:\n%s", diff)
+	}
+}

@@ -29,6 +29,7 @@ var docFiles = []string{
 	"docs/architecture.md",
 	"docs/serve.md",
 	"docs/hpc.md",
+	"docs/infer.md",
 }
 
 type snippet struct {

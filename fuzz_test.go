@@ -1,0 +1,136 @@
+package sempatch
+
+// Fuzz targets for the three front-end invariants the engine leans on:
+//
+//   - FuzzSmPLParse: the .cocci parser never panics, and every patch it
+//     accepts survives the renderer's parse→print→parse fixpoint.
+//   - FuzzCParse: the C/C++/CUDA parser never panics on arbitrary input,
+//     in any dialect.
+//   - FuzzSegmentSplice: function-granular segmentation is lossless — for
+//     every file it segments, splicing the raw pieces reproduces the input
+//     byte for byte (the invariant the incremental cache's correctness
+//     rests on).
+//
+// Seed corpora live in testdata/fuzz/<FuzzName>/; CI replays them as part
+// of the ordinary test run and additionally fuzzes each target briefly.
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/cast"
+	"repro/internal/cparse"
+	"repro/internal/smpl"
+)
+
+func FuzzSmPLParse(f *testing.F) {
+	f.Add("@@\nexpression e;\n@@\n- foo(e)\n+ bar(e)\n")
+	f.Add("virtual fix\n\n@r depends on fix@\nidentifier i;\ntype T;\n@@\n- T i = old();\n+ T i = new();\n  ...\n")
+	f.Add("@s@\n@@\n- a();\n...\nwhen != b(x)\n+ c();\n")
+	f.Add("@script:python p@\nx << r.i;\ny;\n@@\ny = x + \"_v2\"\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := smpl.ParsePatch("fuzz.cocci", src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		// Accepted input must round-trip through the renderer.
+		text := smpl.Render(p)
+		p2, err := smpl.ParsePatch("fuzz.cocci", text)
+		if err != nil {
+			t.Fatalf("rendered patch does not re-parse: %v\nrendered:\n%s", err, text)
+		}
+		if again := smpl.Render(p2); again != text {
+			t.Fatalf("render is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", text, again)
+		}
+	})
+}
+
+func FuzzCParse(f *testing.F) {
+	f.Add("int f(int n) {\n    return n + 1;\n}\n", uint8(0))
+	f.Add("template <typename T> T id(T x) { return x; }\n", uint8(1))
+	f.Add("__global__ void k(float *a) { a[0] = 1.0f; }\nvoid h() { k<<<1, 2>>>(p); }\n", uint8(3))
+	f.Add("#pragma omp parallel for\nfor (i = 0; i < n; i++) a[i] = b[i];\n", uint8(0))
+	f.Fuzz(func(t *testing.T, src string, dialect uint8) {
+		opts := cparse.Options{
+			CPlusPlus: dialect&1 != 0,
+			CUDA:      dialect&2 != 0,
+		}
+		if opts.CPlusPlus {
+			opts.Std = 23
+		}
+		_, _ = cparse.Parse("fuzz.c", src, opts) // must not panic
+	})
+}
+
+func FuzzSegmentSplice(f *testing.F) {
+	f.Add("int a;\n\nint f(void) {\n    return a;\n}\n\nstatic void g(int x) {\n    use(x);\n}\n")
+	f.Add("#include <x.h>\nvoid only(void) {}\n")
+	f.Add("int f(void){return 0;} int g(void){return 1;}\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		file, err := cparse.Parse("fuzz.c", src, cparse.Options{})
+		if err != nil {
+			return
+		}
+		seg := cast.SegmentFile(file)
+		if seg == nil {
+			return
+		}
+		gaps := make([]string, len(seg.Funcs)+1)
+		funcs := make([]string, len(seg.Funcs))
+		for i := range gaps {
+			gaps[i] = seg.GapRaw(i)
+		}
+		for i := range seg.Funcs {
+			funcs[i] = seg.Funcs[i].Raw()
+		}
+		if got := seg.Splice(gaps, funcs); got != src {
+			t.Fatalf("splice of raw segments is not byte-identical:\ngot:\n%q\nwant:\n%q\nfirst diff at %d",
+				got, src, firstDiff(got, src))
+		}
+	})
+}
+
+func firstDiff(a, b string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// TestFuzzSeedCorpusReplay makes the on-disk seed corpus part of the
+// ordinary (non-fuzz) test run even on toolchains that skip corpus replay,
+// by checking the directories exist and are non-empty. The actual replay
+// happens in the Fuzz* functions above, which `go test` runs over every
+// seed without -fuzz.
+func TestFuzzSeedCorpusReplay(t *testing.T) {
+	for _, name := range []string{"FuzzSmPLParse", "FuzzCParse", "FuzzSegmentSplice"} {
+		entries, err := fuzzDirEntries(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if entries == 0 {
+			t.Errorf("testdata/fuzz/%s has no seed corpus entries", name)
+		}
+	}
+}
+
+func fuzzDirEntries(name string) (int, error) {
+	ents, err := os.ReadDir("testdata/fuzz/" + name)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, e := range ents {
+		if !e.IsDir() && !strings.HasPrefix(e.Name(), ".") {
+			n++
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,116 @@
+package sempatch
+
+import (
+	"repro/internal/cparse"
+	"repro/internal/infer"
+)
+
+// InferPair is one before/after demonstration for patch inference: two
+// versions of a C/C++ source file. A pair may contain several changed
+// functions; each becomes one example, and verification always replays the
+// whole file.
+type InferPair struct {
+	// Name labels the pair in diagnostics.
+	Name string
+	// Before and After are the two full file sources.
+	Before string
+	After  string
+}
+
+// InferResult is a successfully inferred and verified patch.
+type InferResult struct {
+	// Patch is the compiled patch, ready for NewApplier/NewBatchApplier.
+	Patch *Patch
+	// Cocci is the rendered .cocci text.
+	Cocci string
+	// Metas maps each declared metavariable to its kind keyword.
+	Metas map[string]string
+	// Examples names the function examples the patch was inferred from.
+	Examples []string
+	// Variant reports which abstraction level survived verification:
+	// "abstracted", "abstracted/full-context", "concrete", or
+	// "concrete/full-context".
+	Variant string
+	// Notes carries non-fatal observations (variants the oracle rejected
+	// before one succeeded).
+	Notes []string
+}
+
+// InferError is a structured inference failure: the offending pair (and,
+// for cross-example irreconcilability, the second pair), the pipeline stage
+// that failed, and — when the failure is a subtree that could not be
+// generalized — that subtree's source text.
+type InferError struct {
+	// Pair is the offending pair or example name.
+	Pair string
+	// Other is the second example for irreconcilable divergences.
+	Other string
+	// Stage is the failing pipeline stage: "input", "parse", "align",
+	// "generalize", "compile", or "verify".
+	Stage string
+	// Subtree is the source text of the subtree that failed to generalize.
+	Subtree string
+	// Detail is the human-readable specifics.
+	Detail string
+
+	inner *infer.PairError
+}
+
+func (e *InferError) Error() string { return e.inner.Error() }
+
+// Infer derives one semantic patch from before/after example pairs and
+// verifies it in-process: the patch is compiled through the standard front
+// end and applied to every pair's "before"; any output not byte-identical
+// to the "after" rejects that abstraction level, and the most abstract
+// variant surviving the oracle wins. On failure the error is an
+// *InferError naming the offending pair and stage.
+//
+// ruleName names the emitted rule ("" means "inferred"); opts selects the
+// dialect for both parsing the examples and the verification runs.
+func Infer(ruleName string, opts Options, pairs ...InferPair) (*InferResult, error) {
+	in := make([]infer.Pair, len(pairs))
+	for i, p := range pairs {
+		in[i] = infer.Pair{Name: p.Name, Before: p.Before, After: p.After}
+	}
+	res, err := infer.Infer(in, infer.Options{
+		RuleName: ruleName,
+		Parse:    inferParseOpts(opts),
+		Engine:   opts.internal(),
+	})
+	if err != nil {
+		if pe, ok := err.(*infer.PairError); ok {
+			return nil, &InferError{Pair: pe.Pair, Other: pe.Other, Stage: pe.Stage,
+				Subtree: pe.Subtree, Detail: pe.Detail, inner: pe}
+		}
+		return nil, err
+	}
+	return &InferResult{
+		Patch:    &Patch{p: res.Patch},
+		Cocci:    res.Cocci,
+		Metas:    res.Metas,
+		Examples: res.Examples,
+		Variant:  res.Variant,
+		Notes:    res.Notes,
+	}, nil
+}
+
+// MinePairs walks a git repository's first-parent history and collects up
+// to limit before/after pairs from modified C/C++ files whose
+// function-level segmentation shows at least one changed function body —
+// input for Infer. Mining is best-effort: unparseable or unusable files
+// are skipped, and an error is returned only when nothing minable exists.
+func MinePairs(repoDir string, limit int, opts Options) ([]InferPair, error) {
+	mined, err := infer.MineGit(repoDir, limit, inferParseOpts(opts))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]InferPair, len(mined))
+	for i, m := range mined {
+		out[i] = InferPair{Name: m.Name, Before: m.Before, After: m.After}
+	}
+	return out, nil
+}
+
+func inferParseOpts(o Options) cparse.Options {
+	return cparse.Options{CPlusPlus: o.CPlusPlus, Std: o.Std, CUDA: o.CUDA}
+}

@@ -1,0 +1,104 @@
+package sempatch
+
+// Public-API tests for patch inference by demonstration: Infer and
+// MinePairs, the sempatch-level wrappers over internal/infer.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestInferPublicAPI(t *testing.T) {
+	before := `int f(int n) {
+    int r = old_api(n);
+    return r;
+}
+`
+	after := `int f(int n) {
+    int r = new_api(n, 0);
+    return r;
+}
+`
+	res, err := Infer("demo", Options{}, InferPair{Name: "p", Before: before, After: after})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Cocci, "@demo@") {
+		t.Errorf("rule name not honored:\n%s", res.Cocci)
+	}
+	if res.Variant == "" || len(res.Examples) != 1 {
+		t.Errorf("variant %q, examples %v", res.Variant, res.Examples)
+	}
+
+	// The returned Patch plugs straight into the public applier and
+	// generalizes beyond the demonstration.
+	out, err := NewApplier(res.Patch, Options{}).Apply(File{Name: "x.c", Src: `long g(long k) {
+    long v = old_api(k);
+    return v;
+}
+`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.Outputs["x.c"], "new_api(k, 0)") {
+		t.Errorf("inferred patch does not generalize:\n%s", out.Outputs["x.c"])
+	}
+}
+
+func TestInferPublicError(t *testing.T) {
+	_, err := Infer("", Options{}, InferPair{Name: "bad", Before: "int f( {", After: "int f(void) {}"})
+	ie, ok := err.(*InferError)
+	if !ok {
+		t.Fatalf("error is %T, want *InferError: %v", err, err)
+	}
+	if ie.Stage != "parse" || ie.Pair != "bad" {
+		t.Errorf("stage %q pair %q, want parse/bad", ie.Stage, ie.Pair)
+	}
+}
+
+func TestMinePairsFromScratchRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	dir := t.TempDir()
+	git := func(args ...string) {
+		t.Helper()
+		cmd := exec.Command("git", append([]string{"-C", dir}, args...)...)
+		cmd.Env = append(os.Environ(),
+			"GIT_AUTHOR_NAME=t", "GIT_AUTHOR_EMAIL=t@t",
+			"GIT_COMMITTER_NAME=t", "GIT_COMMITTER_EMAIL=t@t")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("git %v: %v\n%s", args, err, out)
+		}
+	}
+	write := func(src string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, "m.c"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	git("init", "-q")
+	write("void f(int x) {\n    old_call(x);\n}\n")
+	git("add", "m.c")
+	git("commit", "-q", "-m", "seed")
+	write("void f(int x) {\n    new_call(x);\n}\n")
+	git("commit", "-q", "-am", "migrate")
+
+	pairs, err := MinePairs(dir, 4, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || !strings.Contains(pairs[0].Name, "m.c") {
+		t.Fatalf("mined %v", pairs)
+	}
+	res, err := Infer("", Options{}, pairs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Cocci, "new_call") {
+		t.Errorf("mined inference missing the rewrite:\n%s", res.Cocci)
+	}
+}

@@ -1,0 +1,107 @@
+// Tree alignment helpers for patch inference (internal/infer). Inference
+// needs two primitives the engine itself never did: a whitespace-insensitive
+// text identity for comparing subtrees across two parses of related sources,
+// and a longest-common-subsequence alignment for pairing statement sequences
+// (and variadic child lists) between a "before" and an "after" tree.
+
+package cast
+
+import "strings"
+
+// NormText returns the node's source text with every whitespace run
+// collapsed to a single space — a token-level identity that is stable across
+// reformatting, so `a+b` and `a + b` align.
+func NormText(f *File, n Node) string {
+	return NormalizeSpace(f.Text(n))
+}
+
+// NormalizeSpace collapses whitespace runs in s to single spaces and trims
+// the ends.
+func NormalizeSpace(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// AlignKind classifies one alignment operation.
+type AlignKind uint8
+
+const (
+	// AlignSame pairs a[A] with b[B] (equal keys).
+	AlignSame AlignKind = iota
+	// AlignDel consumes a[A] with no counterpart in b.
+	AlignDel
+	// AlignIns consumes b[B] with no counterpart in a.
+	AlignIns
+)
+
+// AlignOp is one step of an alignment; A and B index into the aligned
+// sequences (-1 when the side is not consumed).
+type AlignOp struct {
+	Kind AlignKind
+	A, B int
+}
+
+// AlignSeq computes a longest-common-subsequence alignment of two string
+// sequences. Equal elements pair as AlignSame; the rest become AlignDel /
+// AlignIns runs (deletions before insertions within a divergent region).
+// The inference pipeline feeds it normalized statement texts, pairing the
+// unchanged statements of a before/after function body so the leftovers are
+// exactly the edit.
+func AlignSeq(a, b []string) []AlignOp {
+	n, m := len(a), len(b)
+	// lcs[i][j] = LCS length of a[i:], b[j:].
+	lcs := make([][]int, n+1)
+	for i := range lcs {
+		lcs[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if a[i] == b[j] {
+				lcs[i][j] = lcs[i+1][j+1] + 1
+			} else if lcs[i+1][j] >= lcs[i][j+1] {
+				lcs[i][j] = lcs[i+1][j]
+			} else {
+				lcs[i][j] = lcs[i][j+1]
+			}
+		}
+	}
+	var ops []AlignOp
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case a[i] == b[j]:
+			ops = append(ops, AlignOp{AlignSame, i, j})
+			i++
+			j++
+		case lcs[i+1][j] >= lcs[i][j+1]:
+			ops = append(ops, AlignOp{AlignDel, i, -1})
+			i++
+		default:
+			ops = append(ops, AlignOp{AlignIns, -1, j})
+			j++
+		}
+	}
+	for ; i < n; i++ {
+		ops = append(ops, AlignOp{AlignDel, i, -1})
+	}
+	for ; j < m; j++ {
+		ops = append(ops, AlignOp{AlignIns, -1, j})
+	}
+	return ops
+}
+
+// Children returns a node's direct child nodes in source order — the
+// lockstep-descent order used by anti-unification. It mirrors Walk's
+// traversal exactly (nil children are skipped).
+func Children(n Node) []Node {
+	var out []Node
+	first := true
+	Walk(n, func(m Node) bool {
+		if first {
+			first = false
+			return true // descend past the root itself
+		}
+		out = append(out, m)
+		return false // collect direct children only
+	})
+	return out
+}

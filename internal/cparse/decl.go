@@ -322,6 +322,13 @@ func (p *parser) parseType() (*cast.Type, error) {
 				}
 				goto done
 			}
+			// Language keywords that cannot name a type (return, break,
+			// if, sizeof, ...) never start a declaration; without this, a
+			// top-level parse of statement text like `return r;` would
+			// fabricate a VarDecl with base type "return".
+			if ctoken.Keywords[t] {
+				goto done
+			}
 			// A plain identifier can be the base type if none seen yet.
 			if len(base) == 0 {
 				base = append(base, t)

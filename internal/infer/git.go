@@ -1,0 +1,146 @@
+// Git mining: turn a repository's commit history into before/after pairs.
+// Each commit's modified C files are diffed at function granularity using
+// cast.SegmentFile's position-independent identities — a pair is kept only
+// when at least one function body actually changed (file-level churn such
+// as reordered functions or comment edits yields no examples and is
+// skipped).
+
+package infer
+
+import (
+	"fmt"
+	"os/exec"
+	"strings"
+
+	"repro/internal/cast"
+	"repro/internal/cparse"
+)
+
+// MinedPair is one usable before/after pair mined from history, with the
+// names of the functions whose identities changed.
+type MinedPair struct {
+	Pair
+	Commit  string
+	Path    string
+	Changed []string
+}
+
+// MineGit walks the repository's first-parent history and collects up to
+// limit before/after pairs from modified .c/.h files whose function-level
+// segmentation shows at least one changed function. Pairs that fail to
+// parse or change anything other than function bodies are skipped, not
+// fatal: history is noisy and mining is best-effort by design.
+func MineGit(repoDir string, limit int, popts cparse.Options) ([]MinedPair, error) {
+	if limit <= 0 {
+		limit = 16
+	}
+	out, err := gitRun(repoDir, "log", "--first-parent", "--pretty=%H")
+	if err != nil {
+		return nil, fmt.Errorf("infer: git log in %s: %w", repoDir, err)
+	}
+	var mined []MinedPair
+	for _, commit := range strings.Fields(out) {
+		if len(mined) >= limit {
+			break
+		}
+		files, err := gitRun(repoDir, "diff-tree", "--no-commit-id", "--name-only",
+			"--diff-filter=M", "-r", commit+"^", commit)
+		if err != nil {
+			continue // root commit or unreadable tree
+		}
+		for _, path := range strings.Split(strings.TrimSpace(files), "\n") {
+			if len(mined) >= limit {
+				break
+			}
+			if !isCSource(path) {
+				continue
+			}
+			before, err := gitRun(repoDir, "show", commit+"^:"+path)
+			if err != nil {
+				continue
+			}
+			after, err := gitRun(repoDir, "show", commit+":"+path)
+			if err != nil {
+				continue
+			}
+			pair := Pair{Name: shortSHA(commit) + ":" + path, Before: before, After: after}
+			changed := changedFunctions(pair, popts)
+			if len(changed) == 0 {
+				continue
+			}
+			mined = append(mined, MinedPair{
+				Pair: pair, Commit: commit, Path: path, Changed: changed,
+			})
+		}
+	}
+	if len(mined) == 0 {
+		return nil, fmt.Errorf("infer: no minable function-level changes found in %s", repoDir)
+	}
+	return mined, nil
+}
+
+// changedFunctions segments both sides and returns the names of functions
+// present in both whose segment identity differs. An unparseable or
+// unpairable file returns nil (skipped by mining).
+func changedFunctions(p Pair, popts cparse.Options) []string {
+	bf, err := cparse.Parse(p.Name, p.Before, popts)
+	if err != nil {
+		return nil
+	}
+	af, err := cparse.Parse(p.Name, p.After, popts)
+	if err != nil {
+		return nil
+	}
+	bs, as := cast.SegmentFile(bf), cast.SegmentFile(af)
+	if bs == nil || as == nil {
+		return nil
+	}
+	bIDs := map[string]string{}
+	for i := range bs.Funcs {
+		fs := &bs.Funcs[i]
+		bIDs[fs.Name] = fs.Identity()
+	}
+	aNames := map[string]bool{}
+	var changed []string
+	for i := range as.Funcs {
+		fs := &as.Funcs[i]
+		aNames[fs.Name] = true
+		if id, ok := bIDs[fs.Name]; ok && id != fs.Identity() {
+			changed = append(changed, fs.Name)
+		}
+	}
+	// Inference rejects added/removed functions; mining filters them here.
+	for name := range bIDs {
+		if !aNames[name] {
+			return nil
+		}
+	}
+	for i := range as.Funcs {
+		if _, ok := bIDs[as.Funcs[i].Name]; !ok {
+			return nil
+		}
+	}
+	return changed
+}
+
+func isCSource(path string) bool {
+	return strings.HasSuffix(path, ".c") || strings.HasSuffix(path, ".h") ||
+		strings.HasSuffix(path, ".cc") || strings.HasSuffix(path, ".cpp") ||
+		strings.HasSuffix(path, ".cu")
+}
+
+func shortSHA(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}
+
+func gitRun(dir string, args ...string) (string, error) {
+	cmd := exec.Command("git", append([]string{"-C", dir}, args...)...)
+	out, err := cmd.Output()
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}

@@ -1,0 +1,53 @@
+package patchlib
+
+// Golden round-trip: every shipped experiment patch must survive the SmPL
+// renderer's parse→print→parse fixpoint, and the rendered text must compile
+// to a semantically identical patch — byte-identical output and identical
+// match counts on the experiment's own workload.
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/smpl"
+)
+
+func TestExperimentPatchesRenderRoundTrip(t *testing.T) {
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			p, err := smpl.ParsePatch(e.ID+".cocci", e.Patch)
+			if err != nil {
+				t.Fatalf("original does not parse: %v", err)
+			}
+			text := smpl.Render(p)
+			p2, err := smpl.ParsePatch(e.ID+".cocci", text)
+			if err != nil {
+				t.Fatalf("rendered patch does not re-parse: %v\nrendered:\n%s", err, text)
+			}
+			if again := smpl.Render(p2); again != text {
+				t.Fatalf("render is not a fixpoint:\nfirst:\n%s\nsecond:\n%s", text, again)
+			}
+
+			// Semantic equivalence: the rendered patch run on the same
+			// workload must produce the same output and the same matches.
+			src := e.Input()
+			origRes, origOut, err := e.RunOn(src)
+			if err != nil {
+				t.Fatalf("original run: %v", err)
+			}
+			rendered := e
+			rendered.Patch = text
+			renRes, renOut, err := rendered.RunOn(src)
+			if err != nil {
+				t.Fatalf("rendered run: %v", err)
+			}
+			if renOut != origOut {
+				t.Errorf("rendered patch output diverges:\n--- original\n%s\n--- rendered\n%s", origOut, renOut)
+			}
+			if !reflect.DeepEqual(renRes.MatchCount, origRes.MatchCount) {
+				t.Errorf("match counts diverge: original %v, rendered %v", origRes.MatchCount, renRes.MatchCount)
+			}
+		})
+	}
+}

@@ -1,0 +1,110 @@
+package serve
+
+// Race test for the resident session API: POST /v1/sessions/{id}/invalidate
+// dropping the session's derived artifacts while concurrent /v1/apply
+// requests replay and re-derive them. Run under -race (the CI test job
+// does); the assertions also pin the semantic contract — an apply must see
+// either the pre- or post-invalidation state, never a torn one.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestInvalidateRacesApply(t *testing.T) {
+	root := writeCorpus(t, 6)
+	_, ts := newTestServer(t, root)
+	applyURL := ts.URL + "/v1/apply"
+	invURL := ts.URL + "/v1/sessions/hpc/invalidate"
+
+	// Warm the session once so the invalidations actually drop state.
+	if resp, body := postJSON(t, ts.URL+"/v1/sessions/hpc/run", nil); resp.StatusCode != 200 {
+		t.Fatalf("warm run: %d %s", resp.StatusCode, body)
+	}
+
+	post := func(url string, payload any) (int, []byte, error) {
+		b, err := json.Marshal(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp.StatusCode, buf.Bytes(), nil
+	}
+
+	const appliers = 4
+	const rounds = 25
+	errc := make(chan error, appliers*rounds+rounds)
+	var wg sync.WaitGroup
+	for w := 0; w < appliers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				// Alternate corpus files and inline snippets so both the
+				// replay path and the parse path race the invalidation.
+				var req ApplyRequest
+				if i%2 == 0 {
+					req = ApplyRequest{Session: "hpc", File: "src03.c"}
+				} else {
+					src := fmt.Sprintf("void r%d_%d(int n)\n{\n\tlegacy_halo_exchange(n, %d);\n}\n", w, i, i)
+					req = ApplyRequest{Session: "hpc", Name: "r.c", Source: &src}
+				}
+				code, body, err := post(applyURL, req)
+				if err != nil {
+					errc <- fmt.Errorf("apply: %v", err)
+					return
+				}
+				if code != 200 {
+					errc <- fmt.Errorf("apply: status %d: %s", code, body)
+					return
+				}
+				var ar ApplyResponse
+				if err := json.Unmarshal(body, &ar); err != nil {
+					errc <- fmt.Errorf("apply: bad body %s: %v", body, err)
+					return
+				}
+				if !ar.Changed || !strings.Contains(ar.Diff, "halo_exchange_v2") {
+					errc <- fmt.Errorf("apply: rewrite lost during invalidation race: %s", body)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			code, body, err := post(invURL, nil)
+			if err != nil {
+				errc <- fmt.Errorf("invalidate: %v", err)
+				return
+			}
+			if code != 200 {
+				errc <- fmt.Errorf("invalidate: status %d: %s", code, body)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// The session must still be fully functional after the storm.
+	if resp, body := postJSON(t, ts.URL+"/v1/sessions/hpc/run", nil); resp.StatusCode != 200 {
+		t.Fatalf("post-race run: %d %s", resp.StatusCode, body)
+	}
+}

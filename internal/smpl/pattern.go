@@ -82,11 +82,30 @@ func CompileBody(file string, r *Rule) (*Pattern, error) {
 		return nil, &SyntaxError{File: file, Msg: "rule " + r.Name + " has an empty match pattern"}
 	}
 
-	// Try: declaration-level, then statement-level, then expression.
+	// Try: declaration-level, then statement-level, then expression. A
+	// declaration parse that resorted to opaque fallbacks is not accepted
+	// outright: the matcher has no semantics for OpaqueDecl, so a body like
+	// `foo(x); return x;` (top-level-parseable only as opaque runs) must
+	// classify as a statement sequence. Such a parse is kept only as a last
+	// resort when the statement parse fails too.
+	var declPat *Pattern
 	if f, derr := cparse.ParseTokens(lf, opts); derr == nil && len(f.Decls) > 0 {
-		pat.Kind = DeclPattern
-		pat.Decls = f.Decls
-		return pat, nil
+		opaque := false
+		for _, d := range f.Decls {
+			if _, ok := d.(*cast.OpaqueDecl); ok {
+				opaque = true
+				break
+			}
+		}
+		if !opaque {
+			pat.Kind = DeclPattern
+			pat.Decls = f.Decls
+			return pat, nil
+		}
+		cp := *pat
+		cp.Kind = DeclPattern
+		cp.Decls = f.Decls
+		declPat = &cp
 	}
 	stmts, serr := cparse.ParseStmtsTokens(lf, opts)
 	if serr == nil && len(stmts) > 0 {
@@ -107,6 +126,9 @@ func CompileBody(file string, r *Rule) (*Pattern, error) {
 		pat.Kind = StmtSeqPattern
 		pat.Stmts = stmts
 		return pat, nil
+	}
+	if declPat != nil {
+		return declPat, nil
 	}
 	e, eerr := cparse.ParseExprTokens(lf, opts)
 	if eerr != nil {

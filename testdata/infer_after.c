@@ -1,0 +1,10 @@
+#include <stdio.h>
+
+int run_solver(int n) {
+    int r = new_api(n, 0);
+    return r;
+}
+
+static void report(int code) {
+    printf("code %d\n", code);
+}

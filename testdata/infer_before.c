@@ -1,0 +1,10 @@
+#include <stdio.h>
+
+int run_solver(int n) {
+    int r = old_api(n);
+    return r;
+}
+
+static void report(int code) {
+    printf("code %d\n", code);
+}

@@ -37,6 +37,8 @@ func main() {
 	recurse := flag.Bool("r", false, "treat arguments as directories; translate all C/C++ sources below them")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker count for the campaign batch runner")
 	cacheDir := flag.String("cache-dir", "", "persistent corpus-index directory; re-runs over unchanged files replay cached results")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON profile of the campaign run to this file")
+	profile := flag.Bool("profile", false, "print an aggregate per-stage/per-rule profile to stderr")
 	flag.Parse()
 	buildinfo.HandleVersion("gocci-acc2omp", showVersion)
 
@@ -51,7 +53,8 @@ func main() {
 
 	spec := hpccli.Spec{
 		Tool: "gocci-acc2omp", InPlace: *inPlace, Stats: *stats, Verify: *verify,
-		Recurse: *recurse, Workers: *workers, CacheDir: *cacheDir, Args: flag.Args(),
+		Recurse: *recurse, Workers: *workers, CacheDir: *cacheDir,
+		TracePath: *tracePath, Profile: *profile, Args: flag.Args(),
 	}
 	if *legacy || *lineMode {
 		spec.Legacy = func(path, src string) (string, error) {

@@ -34,6 +34,8 @@ func main() {
 	recurse := flag.Bool("r", false, "treat arguments as directories; translate all CUDA/C++ sources below them")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "worker count for the campaign batch runner")
 	cacheDir := flag.String("cache-dir", "", "persistent corpus-index directory; re-runs over unchanged files replay cached results")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON profile of the campaign run to this file")
+	profile := flag.Bool("profile", false, "print an aggregate per-stage/per-rule profile to stderr")
 	flag.Parse()
 	buildinfo.HandleVersion("gocci-hipify", showVersion)
 
@@ -44,7 +46,8 @@ func main() {
 
 	spec := hpccli.Spec{
 		Tool: "gocci-hipify", InPlace: *inPlace, Stats: *stats, Verify: *verify,
-		Recurse: *recurse, Workers: *workers, CacheDir: *cacheDir, Args: flag.Args(),
+		Recurse: *recurse, Workers: *workers, CacheDir: *cacheDir,
+		TracePath: *tracePath, Profile: *profile, Args: flag.Args(),
 	}
 	switch {
 	case *text:

@@ -12,12 +12,16 @@
 // Endpoints (see docs/serve.md for the full reference):
 //
 //	GET  /healthz                       liveness
-//	GET  /metrics                       Prometheus-style counters
+//	GET  /metrics                       Prometheus exposition (counters + latency histograms)
 //	GET  /v1/sessions                   session list with stats
 //	GET  /v1/sessions/{id}/stats        one session's stats
+//	GET  /v1/sessions/{id}/trace        last sweep's Chrome trace-event JSON
 //	POST /v1/sessions/{id}/run          full-corpus sweep, streamed NDJSON
 //	POST /v1/sessions/{id}/invalidate   drop resident state
 //	POST /v1/apply                      one-shot file or snippet patching
+//
+// --pprof additionally mounts Go's net/http/pprof handlers under /debug/pprof/
+// on the same listener for CPU and heap profiling of the daemon itself.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on DefaultServeMux; exposed only with --pprof
 	"os"
 	"os/signal"
 	"runtime"
@@ -56,6 +61,7 @@ func main() {
 	watch := flag.Duration("watch", 2*time.Second, "poll-watcher interval for change-driven invalidation; 0 disables")
 	astCache := flag.Int("ast-cache", 256, "resident parse-tree LRU size (trees)")
 	memCache := flag.Int("mem-cache", 0, "in-memory scan/result cache entry bound (0 = default 65536)")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the same listener")
 	var defines defineList
 	flag.Var(&defines, "D", "define a virtual dependency name (repeatable)")
 	flag.Parse()
@@ -115,7 +121,18 @@ func main() {
 		srv.Close()
 		fatal(err)
 	}
-	httpSrv := &http.Server{Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofFlag {
+		// An outer mux keeps the API handler untouched: pprof's handlers
+		// register on http.DefaultServeMux at import, and the outer mux
+		// routes /debug/pprof/ there while everything else stays with the
+		// API. Off by default — profiling endpoints are not for open ports.
+		outer := http.NewServeMux()
+		outer.Handle("/debug/pprof/", http.DefaultServeMux)
+		outer.Handle("/", handler)
+		handler = outer
+	}
+	httpSrv := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 	sigc := make(chan os.Signal, 1)

@@ -18,7 +18,9 @@
 // several runs them as a campaign, each file seeing the patches in command
 // order but parsed at most once. --cache-dir enables the persistent corpus
 // index: re-runs over unchanged files replay cached results instead of
-// re-scanning, re-parsing, and re-matching them.
+// re-scanning, re-parsing, and re-matching them. --trace FILE records the
+// run as Chrome trace-event JSON (per-stage spans on one track per worker)
+// and --profile prints the aggregate table; see docs/observability.md.
 package main
 
 import (
@@ -51,6 +53,8 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "persistent corpus-index directory for recursive mode; re-runs over unchanged files replay cached results")
 	noFnCache := flag.Bool("no-fn-cache", false, "disable function-granular matching and caching; eligible patches match whole files instead of per-function segments")
 	verify := flag.Bool("verify", false, "run the post-transform safety checker in recursive mode; unsafe edits are demoted to warnings")
+	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON profile of the run to this file (load in Perfetto)")
+	profile := flag.Bool("profile", false, "print an aggregate profile to stderr: self-time per stage, per-rule attribution, cache and prefilter effectiveness")
 	listCampaigns := flag.Bool("list-campaigns", false, "list the shipped HPC campaigns and exit")
 	var defines defineList
 	flag.Var(&defines, "D", "define a virtual dependency name (repeatable)")
@@ -109,6 +113,11 @@ func main() {
 		Defines: defines, Workers: *workers, NoPrefilter: *noPrefilter,
 		CacheDir: *cacheDir, NoFuncCache: *noFnCache, Verify: *verify,
 	}
+	var tracer *sempatch.Tracer
+	if *tracePath != "" || *profile {
+		tracer = sempatch.NewTracer()
+		opts.Tracer = tracer
+	}
 
 	g := &gocci{inPlace: *inPlace, quiet: *quiet, ruleMatches: make([]map[string]int, len(patches))}
 	for i := range g.ruleMatches {
@@ -158,6 +167,31 @@ func main() {
 			fmt.Fprintf(os.Stderr, "gocci: %d files scanned, %d matches, %d changed in %v\n",
 				g.st.Files, g.st.Matches, g.st.Changed, elapsed.Round(time.Millisecond))
 		}
+	}
+	if *stats {
+		// Fireable rules with zero matches across the whole run are dead
+		// weight in the patch set; surface them so campaigns can be pruned.
+		for i, p := range patches {
+			for _, r := range p.FireableRules() {
+				if g.ruleMatches[i][r] != 0 {
+					continue
+				}
+				if len(patches) > 1 {
+					fmt.Fprintf(os.Stderr, "gocci: rule %s (%s) never fired\n", r, patchFiles[i])
+				} else {
+					fmt.Fprintf(os.Stderr, "gocci: rule %s never fired\n", r)
+				}
+			}
+		}
+	}
+	if *profile {
+		fmt.Fprint(os.Stderr, tracer.Profile().Format())
+	}
+	if *tracePath != "" {
+		if err := cliutil.WriteTrace(*tracePath, tracer); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gocci: trace written to %s\n", *tracePath)
 	}
 	g.reportCache()
 	changed := g.st.Changed + g.cst.Changed

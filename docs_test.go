@@ -30,6 +30,7 @@ var docFiles = []string{
 	"docs/serve.md",
 	"docs/hpc.md",
 	"docs/infer.md",
+	"docs/observability.md",
 }
 
 type snippet struct {

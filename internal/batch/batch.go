@@ -23,6 +23,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/cast"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/cparse"
 	"repro/internal/diff"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/smpl"
 	"repro/internal/verify"
 )
@@ -81,6 +83,12 @@ type Options struct {
 	// version) keys the result cache, so verified and unverified runs never
 	// share cached outcomes.
 	Verify bool
+	// Tracer, when non-nil, receives pipeline spans: each worker records its
+	// read/hash/prefilter/parse/segment/cfg/match/verify/render and cache
+	// traffic on its own track. Tracing never changes outputs, so it is
+	// excluded from the result-cache fingerprint; with a nil Tracer every
+	// instrumentation site costs a single pointer check.
+	Tracer *obs.Tracer
 }
 
 // fingerprint canonicalizes every result-affecting engine option into the
@@ -397,32 +405,47 @@ func (r *Runner) run(n int, get func(int) (core.SourceFile, error), yield func(F
 	if window <= 0 {
 		window = 2 * workers
 	}
-	runPool(n, workers, window, func() func(int) FileResult {
+	var wid atomic.Int32
+	runPool(n, workers, window, func() (func(int) FileResult, func()) {
 		eng := core.NewCompiled(r.compiled, r.opts.Engine)
 		for rule, fn := range r.scripts {
 			eng.RegisterScript(rule, fn)
 		}
-		return func(idx int) FileResult { return r.processOne(eng, get, idx) }
+		tk := r.opts.Tracer.Track(fmt.Sprintf("worker-%d", wid.Add(1)))
+		eng.SetTrace(tk)
+		wsp := tk.Start(obs.StageWorker)
+		return func(idx int) FileResult { return r.processOne(eng, tk, get, idx) }, wsp.End
 	}, func(fr FileResult) int { return fr.Index }, yield)
 }
 
 // processOne produces the result for one file: replayed from the result
 // cache when possible, skipped when the prefilter rules it out, otherwise
 // parsed and patched — and the outcome persisted for the next run.
-func (r *Runner) processOne(eng *core.Engine, get func(int) (core.SourceFile, error), idx int) FileResult {
+func (r *Runner) processOne(eng *core.Engine, tk *obs.Track, get func(int) (core.SourceFile, error), idx int) FileResult {
+	fsp := tk.Start(obs.StageFile)
+	defer fsp.End()
+	rsp := tk.Start(obs.StageRead)
 	f, err := get(idx)
+	rsp.End()
+	fsp.File(f.Name)
 	if err != nil {
 		return FileResult{Index: idx, Name: f.Name, Err: err}
 	}
 	fileHash := ""
 	if r.resultCacheable() {
+		hsp := tk.Start(obs.StageHash).File(f.Name)
 		fileHash = cache.HashString(f.Src)
-		if rec, ok := r.store.Result(r.key(), fileHash); ok {
+		hsp.End()
+		csp := tk.Start(obs.StageCacheRead).File(f.Name)
+		rec, ok := r.store.Result(r.key(), fileHash)
+		if ok {
+			csp.Outcome(obs.OutcomeHit).End()
 			return replay(idx, f, rec)
 		}
+		csp.Outcome(obs.OutcomeMiss).End()
 	}
 	var fr FileResult
-	if r.filter != nil && !r.mayMatch(f.Src, fileHash) {
+	if r.filter != nil && !r.mayMatchTraced(tk, f, fileHash) {
 		// Provably unmatchable: synthesize the result a full run would
 		// produce, without parsing. (A syntactically broken file that
 		// cannot match is skipped too — its parse error goes unreported,
@@ -433,10 +456,12 @@ func (r *Runner) processOne(eng *core.Engine, get func(int) (core.SourceFile, er
 			MatchCount: map[string]int{}, Skipped: true,
 		}
 	} else {
-		fr = r.applyFile(eng, f, idx)
+		fr = r.applyFile(eng, tk, f, idx)
 	}
 	if r.opts.Verify && fr.Err == nil && fr.Output != f.Src {
+		vsp := tk.Start(obs.StageVerify).File(f.Name)
 		fr.Warnings = verify.Check(f.Name, f.Src, fr.Output, verifyOptions(r.opts.Engine))
+		vsp.End()
 		if verify.Unsafe(fr.Warnings) {
 			fr.Demoted = true
 			fr.Output = f.Src
@@ -446,9 +471,24 @@ func (r *Runner) processOne(eng *core.Engine, get func(int) (core.SourceFile, er
 	if fileHash != "" && fr.Err == nil {
 		// Errors are never cached: a parse failure is cheap to rediscover
 		// and the user is likely editing the file to fix it.
+		wsp := tk.Start(obs.StageCacheWrite).File(f.Name)
 		r.store.PutResult(r.key(), fileHash, record(fr, f.Src))
+		wsp.End()
 	}
 	return fr
+}
+
+// mayMatchTraced wraps mayMatch in a prefilter span recording the decision.
+func (r *Runner) mayMatchTraced(tk *obs.Track, f core.SourceFile, fileHash string) bool {
+	sp := tk.Start(obs.StagePrefilter).File(f.Name)
+	ok := r.mayMatch(f.Src, fileHash)
+	if ok {
+		sp.Outcome(obs.OutcomePass)
+	} else {
+		sp.Outcome(obs.OutcomeSkip)
+	}
+	sp.End()
+	return ok
 }
 
 // mayMatch consults the prefilter, answering from the persistent scan cache
@@ -568,13 +608,15 @@ func (r *Runner) collect(run func(func(FileResult) bool), fn func(FileResult) er
 // applyFile patches one file, through the function-granular pipeline when
 // this runner has one (falling back to the file-level engine whenever a
 // file or outcome is outside its province), else directly at file level.
-func (r *Runner) applyFile(eng *core.Engine, f core.SourceFile, idx int) FileResult {
+func (r *Runner) applyFile(eng *core.Engine, tk *obs.Track, f core.SourceFile, idx int) FileResult {
 	if r.fn == nil {
 		return applyOne(eng, f, idx)
 	}
+	psp := tk.Start(obs.StageParse).File(f.Name)
 	parsed, err := cparse.Parse(f.Name, f.Src, cparse.Options{
 		CPlusPlus: r.opts.Engine.CPlusPlus, Std: r.opts.Engine.Std, CUDA: r.opts.Engine.CUDA,
 	})
+	psp.End()
 	if err != nil {
 		// Match the file-level path's error shape (core.Engine.Run).
 		return FileResult{Index: idx, Name: f.Name, Err: fmt.Errorf("parsing %s: %w", f.Name, err)}
@@ -584,7 +626,7 @@ func (r *Runner) applyFile(eng *core.Engine, f core.SourceFile, idx int) FileRes
 	if r.resultCacheable() {
 		store, key = r.store, r.key()
 	}
-	if out, ok := r.fn.apply(eng, f.Name, f.Src, parsed, store, key); ok {
+	if out, ok := r.fn.apply(eng, tk, f.Name, f.Src, parsed, store, key); ok {
 		return FileResult{
 			Index:        idx,
 			Name:         f.Name,

@@ -18,11 +18,13 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/cparse"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/smpl"
 	"repro/internal/verify"
 )
@@ -273,14 +275,14 @@ func (c *Campaign) workers(n int) int {
 // Run streams per-file campaign results to yield in input order, stopping
 // early if yield returns false; see Runner.Run for the pool contract.
 func (c *Campaign) Run(files []core.SourceFile, yield func(CampaignFileResult) bool) {
-	c.run(len(files), func(i int) *FileState {
+	c.run(len(files), c.opts.Tracer, func(i int) *FileState {
 		return &FileState{Name: files[i].Name, Src: files[i].Src, Loaded: true}
 	}, yield)
 }
 
 // RunPaths is Run over on-disk files, read lazily inside the pool.
 func (c *Campaign) RunPaths(paths []string, yield func(CampaignFileResult) bool) {
-	c.run(len(paths), func(i int) *FileState {
+	c.run(len(paths), c.opts.Tracer, func(i int) *FileState {
 		path := paths[i]
 		return &FileState{Name: path, Read: func() (string, error) {
 			b, err := os.ReadFile(path)
@@ -289,7 +291,11 @@ func (c *Campaign) RunPaths(paths []string, yield func(CampaignFileResult) bool)
 	}, yield)
 }
 
-func (c *Campaign) run(n int, get func(int) *FileState, yield func(CampaignFileResult) bool) {
+// run drives the pool over n states. tr is the run's trace sink — usually
+// Options.Tracer, but the *T run variants substitute a per-call tracer so a
+// resident server can trace each request separately against one long-lived
+// Campaign (which cannot be copied per request: it embeds a sync.Once).
+func (c *Campaign) run(n int, tr *obs.Tracer, get func(int) *FileState, yield func(CampaignFileResult) bool) {
 	if c.cfgErr != nil {
 		yield(CampaignFileResult{Index: -1, Err: c.cfgErr})
 		return
@@ -306,26 +312,32 @@ func (c *Campaign) run(n int, get func(int) *FileState, yield func(CampaignFileR
 	popts := cparse.Options{
 		CPlusPlus: c.opts.Engine.CPlusPlus, Std: c.opts.Engine.Std, CUDA: c.opts.Engine.CUDA,
 	}
-	runPool(n, workers, window, func() func(int) CampaignFileResult {
+	var wid atomic.Int32
+	runPool(n, workers, window, func() (func(int) CampaignFileResult, func()) {
+		tk := tr.Track(fmt.Sprintf("worker-%d", wid.Add(1)))
 		engines := make([]*core.Engine, len(c.patches))
 		for i, cp := range c.patches {
 			engines[i] = core.NewCompiled(cp.compiled, cp.engOpts)
+			engines[i].SetTrace(tk)
 			for rule, fn := range c.scripts {
 				engines[i].RegisterScript(rule, fn)
 			}
 		}
+		wsp := tk.Start(obs.StageWorker)
 		return func(idx int) CampaignFileResult {
-			return c.processState(engines, popts, get(idx), idx)
-		}
+			return c.processState(engines, popts, tk, get(idx), idx)
+		}, wsp.End
 	}, func(fr CampaignFileResult) int { return fr.Index }, yield)
 }
 
 // put persists one member outcome when result caching is on.
-func (c *Campaign) put(cp *campaignPatch, fileHash string, rec *cache.Record) {
+func (c *Campaign) put(tk *obs.Track, cp *campaignPatch, fileHash string, rec *cache.Record) {
 	if !c.resultCacheable() || fileHash == "" {
 		return
 	}
+	sp := tk.Start(obs.StageCacheWrite)
 	c.store.PutResult(cp.key, fileHash, rec)
+	sp.End()
 }
 
 // verifyOutcome runs the post-transform checker over one member's edit
@@ -333,11 +345,13 @@ func (c *Campaign) put(cp *campaignPatch, fileHash string, rec *cache.Record) {
 // cache record. An unsafe finding demotes the edit — the member's Changed is
 // cleared on both, and the returned text (what later members see) reverts to
 // before. Only called when the member actually changed the text.
-func (c *Campaign) verifyOutcome(name, before, after string, o *PatchOutcome, rec *cache.Record) string {
+func (c *Campaign) verifyOutcome(tk *obs.Track, name, before, after string, o *PatchOutcome, rec *cache.Record) string {
 	if !c.opts.Verify {
 		return after
 	}
+	sp := tk.Start(obs.StageVerify).File(name)
 	warns := verify.Check(name, before, after, verifyOptions(c.opts.Engine))
+	sp.End()
 	o.Warnings = warns
 	rec.Warnings = storeWarnings(warns)
 	if verify.Unsafe(warns) {

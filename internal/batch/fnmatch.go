@@ -26,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/index"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/transform"
 )
 
@@ -145,8 +146,10 @@ func (s *segState) matches() int {
 // means the caller must fall back to the ordinary file-level path; no cache
 // record has been written for this file in that case (scan-cache priming
 // aside, which is content-keyed and always sound).
-func (r *fnRunner) apply(eng *core.Engine, name, src string, parsed *cast.File, store cache.Store, key string) (fnOutcome, bool) {
+func (r *fnRunner) apply(eng *core.Engine, tk *obs.Track, name, src string, parsed *cast.File, store cache.Store, key string) (fnOutcome, bool) {
+	ssp := tk.Start(obs.StageSegment).File(name)
 	segs := cast.SegmentFile(parsed)
+	ssp.End()
 	if segs == nil || !segs.Aligned() {
 		return fnOutcome{}, false
 	}
@@ -158,16 +161,28 @@ func (r *fnRunner) apply(eng *core.Engine, name, src string, parsed *cast.File, 
 	cachedFns := 0
 	if store != nil && key != "" {
 		for i := range segs.Funcs {
+			csp := tk.Start(obs.StageCacheRead).File(name).Func(segs.Funcs[i].Name)
 			if rec, ok := store.FuncResult(key, fnHash(&segs.Funcs[i])); ok {
 				states[i].rec = rec
 				cachedFns++
+				csp.Outcome(obs.OutcomeHit)
+			} else {
+				csp.Outcome(obs.OutcomeMiss)
 			}
+			csp.End()
 		}
+		csp := tk.Start(obs.StageCacheRead).File(name).Func("(residue)")
 		if rec, ok := store.FuncResult(key, resHash(segs)); ok && (!rec.Changed || len(rec.Gaps) == n+1) {
 			states[n].rec = rec
 		} else if rec, ok := store.FuncResult(key, resTokHash(segs)); ok && !rec.Changed {
 			states[n].rec = rec
 		}
+		if states[n].rec != nil {
+			csp.Outcome(obs.OutcomeHit)
+		} else {
+			csp.Outcome(obs.OutcomeMiss)
+		}
+		csp.End()
 	}
 
 	// Match the remaining segments in parallel on this file, sharing the
@@ -192,15 +207,21 @@ func (r *fnRunner) apply(eng *core.Engine, name, src string, parsed *cast.File, 
 		}
 		for w := 0; w < workers; w++ {
 			wg.Add(1)
-			go func() {
+			go func(w int) {
 				defer wg.Done()
+				// Fan-out goroutines share one engine but must not share a
+				// track; each records on its own fork, passed via the job.
+				fk := tk
+				if workers > 1 {
+					fk = tk.Fork(fmt.Sprintf("seg-%d", w))
+				}
 				for {
 					k := int(next.Add(1)) - 1
 					if k >= len(fresh) {
 						return
 					}
 					i := fresh[k]
-					if r.filter != nil && !r.segMayMatch(store, segs, i) {
+					if r.filter != nil && !r.segMayMatchTraced(fk, store, segs, i) {
 						states[i].skipped = true
 						states[i].sr = &core.SegmentResult{Edits: transform.NewEditSet(parsed.Toks)}
 						if i < n {
@@ -210,10 +231,10 @@ func (r *fnRunner) apply(eng *core.Engine, name, src string, parsed *cast.File, 
 					}
 					states[i].sr, states[i].err = eng.RunSegment(core.SegmentJob{
 						Name: name, Src: src, File: parsed, Segs: segs, Fn: segIndex(i, n),
-						Cands: cands,
+						Cands: cands, Trace: fk,
 					})
 				}
-			}()
+			}(w)
 		}
 		wg.Wait()
 	}
@@ -260,6 +281,7 @@ func (r *fnRunner) apply(eng *core.Engine, name, src string, parsed *cast.File, 
 	case states[n].rec == nil && !states[n].skipped:
 		copy(gaps, states[n].sr.Gaps)
 	}
+	rsp := tk.Start(obs.StageRender).File(name)
 	spliced := segs.Splice(gaps, fnTexts)
 
 	output := spliced
@@ -281,8 +303,10 @@ func (r *fnRunner) apply(eng *core.Engine, name, src string, parsed *cast.File, 
 		}
 		verified = spliced == output
 	}
+	rsp.End()
 
 	if store != nil && key != "" && verified {
+		wsp := tk.Start(obs.StageCacheWrite).File(name)
 		for i := range states {
 			if states[i].rec != nil {
 				continue
@@ -304,6 +328,7 @@ func (r *fnRunner) apply(eng *core.Engine, name, src string, parsed *cast.File, 
 				}
 			}
 		}
+		wsp.End()
 	}
 
 	fnMatched.Add(int64(freshFns))
@@ -334,6 +359,23 @@ func segIndex(i, n int) int {
 // within a match's own token span. Function segments answer through the
 // scan cache (one word scan per segment content hash, ever); the residue
 // scans directly.
+func (r *fnRunner) segMayMatchTraced(tk *obs.Track, store cache.Store, segs *cast.Segmentation, i int) bool {
+	sp := tk.Start(obs.StagePrefilter)
+	if i < len(segs.Funcs) {
+		sp.Func(segs.Funcs[i].Name)
+	} else {
+		sp.Func("(residue)")
+	}
+	ok := r.segMayMatch(store, segs, i)
+	if ok {
+		sp.Outcome(obs.OutcomePass)
+	} else {
+		sp.Outcome(obs.OutcomeSkip)
+	}
+	sp.End()
+	return ok
+}
+
 func (r *fnRunner) segMayMatch(store cache.Store, segs *cast.Segmentation, i int) bool {
 	if i < len(segs.Funcs) {
 		text := segs.Funcs[i].Text

@@ -7,11 +7,13 @@ import "sync"
 // the process function its factory returned, and delivers results to yield
 // in increasing index order, stopping early when yield returns false. The
 // factory runs once per worker goroutine, giving each worker private
-// mutable state (its engines); index extracts a result's input position for
-// the reorder buffer. Memory stays bounded by the window: a file is
-// admitted only when a slot is free, and a slot is returned per delivered
-// result.
-func runPool[T any](n, workers, window int, newWorker func() func(int) T, index func(T) int, yield func(T) bool) {
+// mutable state (its engines) and optionally a teardown hook (may be nil)
+// that runs when the worker goroutine exits — which is how each worker
+// closes its observability track's umbrella span; index extracts a result's
+// input position for the reorder buffer. Memory stays bounded by the
+// window: a file is admitted only when a slot is free, and a slot is
+// returned per delivered result.
+func runPool[T any](n, workers, window int, newWorker func() (func(int) T, func()), index func(T) int, yield func(T) bool) {
 	jobs := make(chan int)
 	results := make(chan T, workers)
 	stop := make(chan struct{})
@@ -21,7 +23,10 @@ func runPool[T any](n, workers, window int, newWorker func() func(int) T, index 
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			process := newWorker()
+			process, done := newWorker()
+			if done != nil {
+				defer done()
+			}
 			for {
 				select {
 				case idx, ok := <-jobs:

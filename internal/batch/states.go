@@ -17,6 +17,7 @@ import (
 	"repro/internal/cparse"
 	"repro/internal/diff"
 	"repro/internal/index"
+	"repro/internal/obs"
 )
 
 // FileState is one corpus file presented to a campaign run, carrying
@@ -78,7 +79,16 @@ func (st *FileState) load() error {
 // from the result cache and unchanged is reported with OutputElided set
 // instead of paying a read.
 func (c *Campaign) RunStates(states []*FileState, yield func(CampaignFileResult) bool) {
-	c.run(len(states), func(i int) *FileState { return states[i] }, yield)
+	c.run(len(states), c.opts.Tracer, func(i int) *FileState { return states[i] }, yield)
+}
+
+// RunStatesT is RunStates tracing into tr instead of Options.Tracer. A
+// resident server holds one Campaign for many requests; this is how each
+// request gets its own trace without copying the Campaign (it embeds a
+// sync.Once) or racing concurrent runs on a shared tracer field. A nil tr
+// disables tracing for the run regardless of Options.Tracer.
+func (c *Campaign) RunStatesT(states []*FileState, tr *obs.Tracer, yield func(CampaignFileResult) bool) {
+	c.run(len(states), tr, func(i int) *FileState { return states[i] }, yield)
 }
 
 // CollectStates is Collect over RunStates.
@@ -86,12 +96,19 @@ func (c *Campaign) CollectStates(states []*FileState, fn func(CampaignFileResult
 	return c.collectC(func(yield func(CampaignFileResult) bool) { c.RunStates(states, yield) }, fn)
 }
 
+// CollectStatesT is Collect over RunStatesT (per-run tracer).
+func (c *Campaign) CollectStatesT(states []*FileState, tr *obs.Tracer, fn func(CampaignFileResult) error) (CampaignStats, error) {
+	return c.collectC(func(yield func(CampaignFileResult) bool) { c.RunStatesT(states, tr, yield) }, fn)
+}
+
 // processState threads one file through every member patch in order. The
 // expensive artifacts — the content hash, the identifier-word set, and the
 // parse tree — are derived from the *current* text at most once each,
 // seeded from the FileState while the current text is still the input, and
 // invalidated together when a member actually changes the text.
-func (c *Campaign) processState(engines []*core.Engine, popts cparse.Options, st *FileState, idx int) CampaignFileResult {
+func (c *Campaign) processState(engines []*core.Engine, popts cparse.Options, tk *obs.Track, st *FileState, idx int) CampaignFileResult {
+	fsp := tk.Start(obs.StageFile).File(st.Name)
+	defer fsp.End()
 	fr := CampaignFileResult{Index: idx, Name: st.Name}
 
 	// cur* track the file's current text as members transform it. Until the
@@ -114,7 +131,10 @@ func (c *Campaign) processState(engines []*core.Engine, popts cparse.Options, st
 		}
 		// Only reachable while cur is the input: transformed text is always
 		// resident.
-		if err := st.load(); err != nil {
+		sp := tk.Start(obs.StageRead).File(st.Name)
+		err := st.load()
+		sp.End()
+		if err != nil {
 			return err
 		}
 		cur, curLoaded = st.Src, true
@@ -127,7 +147,9 @@ func (c *Campaign) processState(engines []*core.Engine, popts cparse.Options, st
 		if err := ensureCur(); err != nil {
 			return err
 		}
+		sp := tk.Start(obs.StageHash).File(st.Name)
 		curHash = cache.HashString(cur)
+		sp.End()
 		if curIsInput {
 			st.Hash = curHash
 		}
@@ -151,10 +173,14 @@ func (c *Campaign) processState(engines []*core.Engine, popts cparse.Options, st
 		if err := ensureCur(); err != nil {
 			return err
 		}
+		// Decision-free scan span: the per-patch skip/pass decision spans
+		// follow, but the word-set derivation is paid once per content.
+		sp := tk.Start(obs.StagePrefilter).File(st.Name)
 		words = index.ScanWords(cur)
 		if c.store != nil {
 			c.store.PutWords(curHash, words)
 		}
+		sp.End()
 		return nil
 	}
 
@@ -164,7 +190,15 @@ func (c *Campaign) processState(engines []*core.Engine, popts cparse.Options, st
 			if err := ensureHash(); err != nil {
 				return fail(err)
 			}
-			if rec, ok := c.store.Result(cp.key, curHash); ok {
+			csp := tk.Start(obs.StageCacheRead).File(st.Name)
+			rec, hit := c.store.Result(cp.key, curHash)
+			if hit {
+				csp.Outcome(obs.OutcomeHit)
+			} else {
+				csp.Outcome(obs.OutcomeMiss)
+			}
+			csp.End()
+			if hit {
 				o.Cached = true
 				// Normalize the JSON omitempty round trip: cold runs always
 				// produce a non-nil map, so replays must too.
@@ -188,10 +222,18 @@ func (c *Campaign) processState(engines []*core.Engine, popts cparse.Options, st
 			if err := ensureWords(); err != nil {
 				return fail(err)
 			}
-			if !cp.filter.MayMatchWords(words) {
+			psp := tk.Start(obs.StagePrefilter).File(st.Name)
+			pass := cp.filter.MayMatchWords(words)
+			if pass {
+				psp.Outcome(obs.OutcomePass)
+			} else {
+				psp.Outcome(obs.OutcomeSkip)
+			}
+			psp.End()
+			if !pass {
 				o.Skipped = true
 				o.MatchCount = map[string]int{}
-				c.put(cp, curHash, &cache.Record{Skipped: true})
+				c.put(tk, cp, curHash, &cache.Record{Skipped: true})
 				fr.Patches = append(fr.Patches, o)
 				continue
 			}
@@ -200,7 +242,9 @@ func (c *Campaign) processState(engines []*core.Engine, popts cparse.Options, st
 			return fail(err)
 		}
 		if parsed == nil {
+			sp := tk.Start(obs.StageParse).File(st.Name)
 			cf, err := cparse.Parse(st.Name, cur, popts)
+			sp.End()
 			if err != nil {
 				// No later patch could parse the file either; report once.
 				return fail(fmt.Errorf("parsing %s: %w", st.Name, err))
@@ -216,7 +260,7 @@ func (c *Campaign) processState(engines []*core.Engine, popts cparse.Options, st
 			if c.resultCacheable() {
 				fnStore, fnKey = c.store, cp.key
 			}
-			if out, ok := cp.fn.apply(engines[i], st.Name, cur, parsed, fnStore, fnKey); ok {
+			if out, ok := cp.fn.apply(engines[i], tk, st.Name, cur, parsed, fnStore, fnKey); ok {
 				o.MatchCount = out.MatchCount
 				o.Changed = out.Changed
 				o.FuncsMatched = out.Matched
@@ -226,9 +270,9 @@ func (c *Campaign) processState(engines []*core.Engine, popts cparse.Options, st
 				if out.Changed {
 					rec.Changed = true
 					rec.Output = out.Output
-					next = c.verifyOutcome(st.Name, cur, out.Output, &o, rec)
+					next = c.verifyOutcome(tk, st.Name, cur, out.Output, &o, rec)
 				}
-				c.put(cp, curHash, rec)
+				c.put(tk, cp, curHash, rec)
 				if o.Changed {
 					cur, curLoaded, curIsInput = next, true, false
 					curHash, words, parsed = "", nil, nil
@@ -251,9 +295,9 @@ func (c *Campaign) processState(engines []*core.Engine, popts cparse.Options, st
 		if o.Changed {
 			rec.Changed = true
 			rec.Output = out
-			out = c.verifyOutcome(st.Name, cur, out, &o, rec)
+			out = c.verifyOutcome(tk, st.Name, cur, out, &o, rec)
 		}
-		c.put(cp, curHash, rec)
+		c.put(tk, cp, curHash, rec)
 		if o.Changed {
 			cur, curLoaded, curIsInput = out, true, false
 			curHash, words, parsed = "", nil, nil
@@ -269,7 +313,9 @@ func (c *Campaign) processState(engines []*core.Engine, popts cparse.Options, st
 	if err := st.load(); err != nil { // the diff needs the original input
 		return fail(err)
 	}
+	dsp := tk.Start(obs.StageRender).File(st.Name)
 	fr.Output = cur
 	fr.Diff = diff.Unified("a/"+st.Name, "b/"+st.Name, st.Src, cur)
+	dsp.End()
 	return fr
 }

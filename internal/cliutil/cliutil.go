@@ -10,6 +10,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // srcExts are the file suffixes CollectSources gathers.
@@ -64,6 +66,21 @@ func WriteInPlace(path, content string) error {
 		return err
 	}
 	return os.Rename(tmp.Name(), path)
+}
+
+// WriteTrace renders a run's trace buffer as Chrome trace-event JSON at
+// path, ready to load in Perfetto or chrome://tracing. Shared by every
+// front end's --trace flag.
+func WriteTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // CollectSources walks directories gathering C/C++/CUDA files in sorted

@@ -20,6 +20,7 @@ import (
 	"repro/internal/diff"
 	"repro/internal/match"
 	"repro/internal/minipy"
+	"repro/internal/obs"
 	"repro/internal/smpl"
 	"repro/internal/transform"
 )
@@ -98,6 +99,7 @@ type Engine struct {
 	interp   *minipy.Interp
 	hosts    map[string]ScriptFunc
 	fresh    map[string]int
+	trace    *obs.Track
 }
 
 // New creates an engine for a parsed patch.
@@ -138,6 +140,16 @@ func (e *Engine) RegisterScript(ruleName string, fn ScriptFunc) {
 	e.hosts[ruleName] = fn
 }
 
+// SetTrace attaches an observability track; the engine records parse, match
+// (attributed per rule), cfg, and render spans on it. A nil track disables
+// tracing; since a Track is single-goroutine, the engine must not be shared
+// across goroutines while a track is set. RunSegment ignores this field and
+// takes its track from the job, because segment jobs fan out goroutines over
+// one shared engine.
+func (e *Engine) SetTrace(tk *obs.Track) {
+	e.trace = tk
+}
+
 // fileState tracks one file through the run.
 type fileState struct {
 	name  string
@@ -145,6 +157,7 @@ type fileState struct {
 	file  *cast.File
 	ed    *transform.EditSet
 	dirty bool
+	trace *obs.Track
 	// cfgs caches one control-flow graph per function for the current
 	// parse. Both the CFG dots engine and the CTL verifier read through
 	// cfg(); a reparse invalidates the cache with the tree. Before this
@@ -162,7 +175,12 @@ func (st *fileState) cfg(fd *cast.FuncDef) *cfg.Graph {
 	if st.cfgs == nil {
 		st.cfgs = map[*cast.FuncDef]*cfg.Graph{}
 	}
+	sp := st.trace.Start(obs.StageCFG).File(st.name)
+	if fd.Name != nil {
+		sp.Func(fd.Name.Name)
+	}
 	g := cfg.Build(fd)
+	sp.End()
 	st.cfgs[fd] = g
 	return g
 }
@@ -186,7 +204,9 @@ type ParsedFile struct {
 func (e *Engine) Run(files []SourceFile) (*Result, error) {
 	parsed := make([]ParsedFile, 0, len(files))
 	for _, f := range files {
+		sp := e.trace.Start(obs.StageParse).File(f.Name)
 		cf, err := cparse.Parse(f.Name, f.Src, e.parseOpts())
+		sp.End()
 		if err != nil {
 			return nil, fmt.Errorf("parsing %s: %w", f.Name, err)
 		}
@@ -203,7 +223,7 @@ func (e *Engine) Run(files []SourceFile) (*Result, error) {
 func (e *Engine) RunParsed(files []ParsedFile) (*Result, error) {
 	states := make([]*fileState, 0, len(files))
 	for _, f := range files {
-		states = append(states, &fileState{name: f.Name, src: f.Src, file: f.File, ed: transform.NewEditSet(f.File.Toks)})
+		states = append(states, &fileState{name: f.Name, src: f.Src, file: f.File, ed: transform.NewEditSet(f.File.Toks), trace: e.trace})
 	}
 
 	res := &Result{
@@ -253,6 +273,7 @@ func (e *Engine) RunParsed(files []ParsedFile) (*Result, error) {
 		}
 	}
 
+	rsp := e.trace.Start(obs.StageRender)
 	for _, st := range states {
 		if st.dirty {
 			st.src = st.ed.Apply()
@@ -262,6 +283,7 @@ func (e *Engine) RunParsed(files []ParsedFile) (*Result, error) {
 	for _, f := range files {
 		res.Diffs[f.Name] = diff.Unified("a/"+f.Name, "b/"+f.Name, f.Src, res.Outputs[f.Name])
 	}
+	rsp.End()
 	res.EnvCount = len(envs)
 	return res, nil
 }
@@ -359,6 +381,9 @@ func (e *Engine) runMatch(rule *smpl.Rule, envs []match.Env, states []*fileState
 	if err := e.reparse(states); err != nil {
 		return nil, err
 	}
+	preMatches := res.MatchCount[rule.Name]
+	msp := e.trace.Start(obs.StageMatch).Rule(rule.Name)
+	defer func() { msp.Matches(res.MatchCount[rule.Name] - preMatches).End() }()
 	cr := e.compiled.rule(rule)
 	metas := cr.metas
 	// Names this rule inherits: local -> qualified key.
@@ -500,7 +525,9 @@ func (e *Engine) reparse(states []*fileState) error {
 			continue
 		}
 		newSrc := st.ed.Apply()
+		sp := e.trace.Start(obs.StageParse).File(st.name)
 		cf, err := cparse.Parse(st.name, newSrc, e.parseOpts())
+		sp.End()
 		if err != nil {
 			return fmt.Errorf("reparsing %s after transformation: %w\nsource:\n%s", st.name, err, newSrc)
 		}

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/cast"
 	"repro/internal/match"
+	"repro/internal/obs"
 	"repro/internal/smpl"
 	"repro/internal/transform"
 )
@@ -116,6 +117,11 @@ type SegmentJob struct {
 	// re-walks the whole AST to enumerate candidates, making a k-segment
 	// file cost k walks instead of one.
 	Cands *match.Cands
+	// Trace, when non-nil, receives this job's match and cfg spans. It lives
+	// on the job rather than the engine because segment jobs of one file fan
+	// out goroutines over one shared engine; each goroutine forks its own
+	// track.
+	Trace *obs.Track
 }
 
 // SegmentResult is the outcome of matching one segment.
@@ -155,8 +161,14 @@ func (e *Engine) RunSegment(job SegmentJob) (*SegmentResult, error) {
 		return nil, err
 	}
 	sr := &SegmentResult{}
-	st := &fileState{name: job.Name, src: job.Src, file: job.File, ed: transform.NewEditSet(job.File.Toks)}
+	st := &fileState{name: job.Name, src: job.Src, file: job.File, ed: transform.NewEditSet(job.File.Toks), trace: job.Trace}
 	sr.Edits = st.ed
+
+	msp := job.Trace.Start(obs.StageMatch).File(job.Name).Rule(rule.Name)
+	if job.Fn >= 0 {
+		msp.Func(job.Segs.Funcs[job.Fn].Name)
+	}
+	defer func() { msp.Matches(sr.Matches).End() }()
 
 	matched := map[string]bool{}
 	for _, d := range e.opts.Defines {

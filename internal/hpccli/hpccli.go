@@ -41,6 +41,12 @@ type Spec struct {
 	Workers int
 	// CacheDir enables the persistent corpus index (campaign runs only).
 	CacheDir string
+	// TracePath, when non-empty, writes the run's Chrome trace-event JSON
+	// there (campaign runs only).
+	TracePath string
+	// Profile prints the aggregate stage/rule profile to stderr (campaign
+	// runs only).
+	Profile bool
 	// Args are the positional file (or, with Recurse, directory) arguments.
 	Args []string
 }
@@ -59,6 +65,9 @@ func Run(s Spec) int {
 		}
 	}
 	if s.Campaign == nil {
+		if s.TracePath != "" || s.Profile {
+			fmt.Fprintf(os.Stderr, "%s: warning: --trace/--profile only apply to campaign runs; ignored with --legacy\n", s.Tool)
+		}
 		return runLegacy(s, paths)
 	}
 	return runCampaign(s, paths)
@@ -89,6 +98,11 @@ func runLegacy(s Spec, paths []string) int {
 // runCampaign builds and sweeps the shipped campaign over paths.
 func runCampaign(s Spec, paths []string) int {
 	opts := sempatch.Options{Workers: s.Workers, CacheDir: s.CacheDir, Verify: s.Verify}
+	var tracer *sempatch.Tracer
+	if s.TracePath != "" || s.Profile {
+		tracer = sempatch.NewTracer()
+		opts.Tracer = tracer
+	}
 	ca, err := s.Campaign.Build(opts)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "%s: %v\n", s.Tool, err)
@@ -141,6 +155,16 @@ func runCampaign(s Spec, paths []string) int {
 				s.Tool, ps.Patch, ps.Skipped, ps.Cached, ps.Matched, ps.Matches, ps.Changed,
 				ps.FuncsMatched, ps.FuncsCached, ps.Demoted, ps.Warnings)
 		}
+	}
+	if s.Profile {
+		fmt.Fprint(os.Stderr, tracer.Profile().Format())
+	}
+	if s.TracePath != "" {
+		if err := cliutil.WriteTrace(s.TracePath, tracer); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", s.Tool, err)
+			return 1
+		}
+		fmt.Fprintf(os.Stderr, "%s: trace written to %s\n", s.Tool, s.TracePath)
 	}
 	return code
 }

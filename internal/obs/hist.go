@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// LatencyBuckets are the default upper bounds (seconds) for request and
+// stage latency histograms: 50µs to 10s, roughly ×2.5 per step, matching
+// the spread between a warm single-file apply (tens of microseconds) and a
+// cold corpus sweep (seconds).
+var LatencyBuckets = []float64{
+	0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket latency histogram with Prometheus exposition
+// semantics (cumulative buckets plus an implicit +Inf). Safe for concurrent
+// Observe/Snapshot.
+type Histogram struct {
+	mu     sync.Mutex
+	upper  []float64 // ascending bucket upper bounds
+	counts []uint64  // per-bucket (non-cumulative); last is +Inf overflow
+	sum    float64
+	total  uint64
+}
+
+// NewHistogram creates a histogram with the given upper bounds, which are
+// sorted and deduplicated; nil means LatencyBuckets.
+func NewHistogram(upper ...float64) *Histogram {
+	if len(upper) == 0 {
+		upper = LatencyBuckets
+	}
+	u := append([]float64(nil), upper...)
+	sort.Float64s(u)
+	dedup := u[:0]
+	for i, v := range u {
+		if i == 0 || v != u[i-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return &Histogram{upper: dedup, counts: make([]uint64, len(dedup)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	i := sort.SearchFloat64s(h.upper, v) // first bound >= v
+	h.counts[i]++
+	h.sum += v
+	h.total++
+	h.mu.Unlock()
+}
+
+// HistSnapshot is a consistent copy of a histogram's state. Counts are
+// cumulative per Prometheus convention; the final entry is the +Inf bucket
+// and always equals Count.
+type HistSnapshot struct {
+	Upper  []float64
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot copies the histogram under its lock.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s := HistSnapshot{Upper: h.upper, Counts: make([]uint64, len(h.counts)), Sum: h.sum, Count: h.total}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		s.Counts[i] = cum
+	}
+	return s
+}
+
+// PromWriter emits Prometheus text exposition format 0.0.4 and guarantees
+// the invariants a strict scraper checks: exactly one # HELP and one # TYPE
+// line per family, emitted before the family's first sample, with all of a
+// family's series contiguous. Callers group series by family; the writer
+// panics on interleaving, which the serve metrics test would catch.
+type PromWriter struct {
+	w      io.Writer
+	err    error
+	seen   map[string]bool
+	family string
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter {
+	return &PromWriter{w: w, seen: map[string]bool{}}
+}
+
+// Err returns the first write error.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err == nil {
+		_, p.err = fmt.Fprintf(p.w, format, args...)
+	}
+}
+
+// Family opens a metric family: one HELP and one TYPE line. Every sample
+// until the next Family call must belong to it.
+func (p *PromWriter) Family(name, typ, help string) {
+	if p.seen[name] {
+		panic("obs: duplicate metric family " + name)
+	}
+	p.seen[name] = true
+	p.family = name
+	p.printf("# HELP %s %s\n", name, escapeHelp(help))
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// Sample emits one series sample of the open family. For histogram families
+// pass the suffixed name ("_bucket", "_sum", "_count") via suffix.
+func (p *PromWriter) Sample(suffix string, labels [][2]string, value float64) {
+	if p.family == "" {
+		panic("obs: sample before Family")
+	}
+	p.printf("%s%s%s %s\n", p.family, suffix, formatLabels(labels), formatValue(value))
+}
+
+// Counter emits a whole single-sample family in one call.
+func (p *PromWriter) Counter(name, help string, labels [][2]string, value float64) {
+	p.Family(name, "counter", help)
+	p.Sample("", labels, value)
+}
+
+// Gauge emits a whole single-sample gauge family in one call.
+func (p *PromWriter) Gauge(name, help string, labels [][2]string, value float64) {
+	p.Family(name, "gauge", help)
+	p.Sample("", labels, value)
+}
+
+// HistogramSeries emits the _bucket/_sum/_count series of one histogram
+// snapshot under the open family, tagged with the given labels.
+func (p *PromWriter) HistogramSeries(labels [][2]string, s HistSnapshot) {
+	for i, ub := range s.Upper {
+		p.Sample("_bucket", append(labels[:len(labels):len(labels)], [2]string{"le", formatValue(ub)}), float64(s.Counts[i]))
+	}
+	p.Sample("_bucket", append(labels[:len(labels):len(labels)], [2]string{"le", "+Inf"}), float64(s.Count))
+	p.Sample("_sum", labels, s.Sum)
+	p.Sample("_count", labels, float64(s.Count))
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatLabels(labels [][2]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l[0])
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabel(l[1]))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func escapeHelp(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(v)
+}

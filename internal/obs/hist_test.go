@@ -1,0 +1,125 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(0.01, 0.1, 1)
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if want := []float64{0.01, 0.1, 1}; len(s.Upper) != len(want) {
+		t.Fatalf("upper = %v", s.Upper)
+	}
+	// Cumulative: ≤0.01 → 2 (0.005, 0.01 inclusive), ≤0.1 → 3, ≤1 → 4, +Inf → 5.
+	want := []uint64{2, 3, 4, 5}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d (counts %v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if s.Count != 5 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.Sum < 2.564 || s.Sum > 2.566 {
+		t.Fatalf("sum = %v", s.Sum)
+	}
+	if s.Counts[len(s.Counts)-1] != s.Count {
+		t.Fatalf("+Inf bucket %d != count %d", s.Counts[len(s.Counts)-1], s.Count)
+	}
+}
+
+func TestHistogramDefaultsAndDedup(t *testing.T) {
+	if got := NewHistogram().Snapshot().Upper; len(got) != len(LatencyBuckets) {
+		t.Fatalf("default buckets = %v", got)
+	}
+	s := NewHistogram(1, 0.5, 1, 0.5).Snapshot()
+	if len(s.Upper) != 2 || s.Upper[0] != 0.5 || s.Upper[1] != 1 {
+		t.Fatalf("dedup/sort broken: %v", s.Upper)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.Observe(float64(i) / 1000)
+				h.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Snapshot().Count; got != 8*500 {
+		t.Fatalf("count = %d, want %d", got, 8*500)
+	}
+}
+
+func TestPromWriterOutput(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Counter("reqs_total", "Total requests.", [][2]string{{"endpoint", "run"}}, 3)
+	p.Gauge("sessions", "Open sessions.", nil, 1)
+	h := NewHistogram(0.1, 1)
+	h.Observe(0.05)
+	h.Observe(5)
+	p.Family("latency_seconds", "histogram", "Request latency.")
+	p.HistogramSeries([][2]string{{"endpoint", "run"}}, h.Snapshot())
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP reqs_total Total requests.\n# TYPE reqs_total counter\nreqs_total{endpoint=\"run\"} 3\n",
+		"# HELP sessions Open sessions.\n# TYPE sessions gauge\nsessions 1\n",
+		"# TYPE latency_seconds histogram\n",
+		`latency_seconds_bucket{endpoint="run",le="0.1"} 1`,
+		`latency_seconds_bucket{endpoint="run",le="1"} 1`,
+		`latency_seconds_bucket{endpoint="run",le="+Inf"} 2`,
+		`latency_seconds_sum{endpoint="run"} 5.05`,
+		`latency_seconds_count{endpoint="run"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPromWriterPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Family("a_total", "counter", "A.")
+	mustPanic("duplicate family", func() { p.Family("a_total", "counter", "A.") })
+	q := NewPromWriter(&buf)
+	mustPanic("sample before family", func() { q.Sample("", nil, 1) })
+}
+
+func TestPromWriterEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewPromWriter(&buf)
+	p.Counter("m_total", "line\none \\ two", [][2]string{{"path", `a"b\c` + "\nd"}}, 1)
+	out := buf.String()
+	if !strings.Contains(out, `# HELP m_total line\none \\ two`) {
+		t.Errorf("help not escaped: %s", out)
+	}
+	if !strings.Contains(out, `path="a\"b\\c\nd"`) {
+		t.Errorf("label not escaped: %s", out)
+	}
+}

@@ -1,0 +1,344 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNilSafety exercises every entry point through nil receivers and the
+// zero Span; the disabled path must be inert, not crash.
+func TestNilSafety(t *testing.T) {
+	var tr *Tracer
+	tk := tr.Track("w")
+	if tk != nil {
+		t.Fatalf("nil tracer returned non-nil track")
+	}
+	fk := tk.Fork("seg")
+	if fk != nil {
+		t.Fatalf("nil track forked non-nil track")
+	}
+	sp := tk.Start(StageParse)
+	sp.File("a.c").Func("f").Rule("r").Outcome(OutcomeHit).Matches(3).End()
+	sp.End() // double End on zero span
+	if got := tr.String(); got != "obs: disabled" {
+		t.Fatalf("nil String() = %q", got)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatalf("nil WriteJSON: %v", err)
+	}
+	var doc struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("nil trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) != 0 {
+		t.Fatalf("nil trace rendered %+v", doc)
+	}
+	p := tr.Profile()
+	if p.Spans != 0 || p.Wall != 0 {
+		t.Fatalf("nil profile = %+v", p)
+	}
+}
+
+// TestNesting checks the parent stack: spans opened while another is open
+// become its children, and siblings share the parent.
+func TestNesting(t *testing.T) {
+	tr := New()
+	tk := tr.Track("w")
+	file := tk.Start(StageFile)
+	parse := tk.Start(StageParse)
+	parse.End()
+	match := tk.Start(StageMatch)
+	match.End()
+	file.End()
+	top := tk.Start(StageRender)
+	top.End()
+
+	want := []struct {
+		stage  string
+		parent int32
+	}{
+		{StageFile, -1},
+		{StageParse, 0},
+		{StageMatch, 0},
+		{StageRender, -1},
+	}
+	if len(tk.spans) != len(want) {
+		t.Fatalf("recorded %d spans, want %d", len(tk.spans), len(want))
+	}
+	for i, w := range want {
+		if tk.spans[i].stage != w.stage || tk.spans[i].parent != w.parent {
+			t.Errorf("span %d = {%s parent=%d}, want {%s parent=%d}",
+				i, tk.spans[i].stage, tk.spans[i].parent, w.stage, w.parent)
+		}
+	}
+	if len(tk.open) != 0 {
+		t.Fatalf("open stack not drained: %v", tk.open)
+	}
+}
+
+// TestForceClose: ending a parent closes children that an early return left
+// open, so nesting cannot corrupt.
+func TestForceClose(t *testing.T) {
+	tr := New()
+	tk := tr.Track("w")
+	file := tk.Start(StageFile)
+	tk.Start(StageParse) // never explicitly ended
+	tk.Start(StageMatch) // never explicitly ended
+	file.End()
+	for i, sp := range tk.spans {
+		if sp.end < 0 {
+			t.Errorf("span %d (%s) left open", i, sp.stage)
+		}
+		if sp.end < sp.start {
+			t.Errorf("span %d (%s) ends before it starts", i, sp.stage)
+		}
+	}
+	if len(tk.open) != 0 {
+		t.Fatalf("open stack not drained: %v", tk.open)
+	}
+	// The next top-level span must not become a child of anything.
+	next := tk.Start(StageRender)
+	next.End()
+	if got := tk.spans[3].parent; got != -1 {
+		t.Fatalf("span after force-close has parent %d, want -1", got)
+	}
+}
+
+// synthetic builds a deterministic trace by editing span times directly:
+// worker[0..10ms] { file[1..9ms] { parse[1..4ms], match[4..8ms] } }.
+func synthetic() *Tracer {
+	tr := New()
+	tk := tr.Track("w")
+	w := tk.Start(StageWorker)
+	f := tk.Start(StageFile).File("a.c")
+	pa := tk.Start(StageParse)
+	pa.End()
+	m := tk.Start(StageMatch).Rule("r1").Matches(2)
+	m.End()
+	f.End()
+	w.End()
+	set := func(i int, start, end time.Duration) {
+		tk.spans[i].start, tk.spans[i].end = start, end
+	}
+	set(0, 0, 10*time.Millisecond)
+	set(1, 1*time.Millisecond, 9*time.Millisecond)
+	set(2, 1*time.Millisecond, 4*time.Millisecond)
+	set(3, 4*time.Millisecond, 8*time.Millisecond)
+	return tr
+}
+
+// TestProfileSelfTime checks the self-time arithmetic on a synthetic trace:
+// self = dur - Σ(child durs), and Σ(self) over all stages equals wall.
+func TestProfileSelfTime(t *testing.T) {
+	p := synthetic().Profile()
+	if p.Wall != 10*time.Millisecond {
+		t.Fatalf("wall = %v, want 10ms", p.Wall)
+	}
+	want := map[string]time.Duration{
+		StageWorker: 2 * time.Millisecond, // 10 - 8 (file)
+		StageFile:   1 * time.Millisecond, // 8 - 3 - 4
+		StageParse:  3 * time.Millisecond,
+		StageMatch:  4 * time.Millisecond,
+	}
+	var sum time.Duration
+	for _, ss := range p.Stages {
+		if ss.Self != want[ss.Stage] {
+			t.Errorf("stage %s self = %v, want %v", ss.Stage, ss.Self, want[ss.Stage])
+		}
+		sum += ss.Self
+	}
+	if sum != p.Wall {
+		t.Fatalf("Σself = %v, wall = %v; umbrella accounting broken", sum, p.Wall)
+	}
+	// Stages sort by self descending.
+	for i := 1; i < len(p.Stages); i++ {
+		if p.Stages[i].Self > p.Stages[i-1].Self {
+			t.Fatalf("stages not sorted by self: %v before %v", p.Stages[i-1], p.Stages[i])
+		}
+	}
+}
+
+// TestProfileRules checks per-rule attribution: fired/never-fired counts and
+// the never-fired listing in the formatted table.
+func TestProfileRules(t *testing.T) {
+	tr := New()
+	tk := tr.Track("w")
+	tk.Start(StageMatch).Rule("hot").Matches(3).End()
+	tk.Start(StageMatch).Rule("hot").Matches(0).End()
+	tk.Start(StageMatch).Rule("dead").Matches(0).End()
+	p := tr.Profile()
+	byName := map[string]RuleStat{}
+	for _, rs := range p.Rules {
+		byName[rs.Rule] = rs
+	}
+	if rs := byName["hot"]; rs.Spans != 2 || rs.Fired != 1 || rs.Matches != 3 {
+		t.Fatalf("hot = %+v", rs)
+	}
+	if rs := byName["dead"]; rs.Spans != 1 || rs.Fired != 0 {
+		t.Fatalf("dead = %+v", rs)
+	}
+	out := p.Format()
+	if !strings.Contains(out, "rule dead never fired") {
+		t.Fatalf("Format() missing never-fired line:\n%s", out)
+	}
+	if strings.Contains(out, "rule hot never fired") {
+		t.Fatalf("Format() flags a fired rule as dead:\n%s", out)
+	}
+}
+
+// TestProfileOutcomes checks cache and prefilter breakdowns; a Func name on a
+// cache-read span classifies it as a function-cache lookup.
+func TestProfileOutcomes(t *testing.T) {
+	tr := New()
+	tk := tr.Track("w")
+	tk.Start(StageCacheRead).Outcome(OutcomeHit).End()
+	tk.Start(StageCacheRead).Outcome(OutcomeMiss).End()
+	tk.Start(StageCacheRead).Func("f").Outcome(OutcomeHit).End()
+	tk.Start(StageCacheRead).Func("g").Outcome(OutcomeMiss).End()
+	tk.Start(StagePrefilter).Outcome(OutcomeSkip).End()
+	tk.Start(StagePrefilter).Outcome(OutcomePass).End()
+	p := tr.Profile()
+	if p.FileCacheHits != 1 || p.FileCacheMisses != 1 ||
+		p.FuncCacheHits != 1 || p.FuncCacheMisses != 1 {
+		t.Fatalf("cache breakdown = %+v", p)
+	}
+	if p.PrefilterSkips != 1 || p.PrefilterPasses != 1 {
+		t.Fatalf("prefilter breakdown = %+v", p)
+	}
+	out := p.Format()
+	for _, want := range []string{
+		"file cache: 1 hits / 2 lookups",
+		"func cache: 1 hits / 2 lookups",
+		"prefilter: skipped 1 of 2 files",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// chromeTrace mirrors the Chrome trace-event schema subset WriteJSON emits;
+// the golden-schema check decodes strictly into it.
+type chromeTrace struct {
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+}
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Cat  string         `json:"cat"`
+	Args map[string]any `json:"args"`
+}
+
+// TestWriteJSON checks the Chrome trace-event rendering: metadata rows, X
+// events with µs timestamps, and args carrying the span attributes.
+func TestWriteJSON(t *testing.T) {
+	tr := synthetic()
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+	dec.DisallowUnknownFields()
+	var doc chromeTrace
+	if err := dec.Decode(&doc); err != nil {
+		t.Fatalf("trace does not decode against the schema: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var meta, complete int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name != "thread_name" || ev.Args["name"] != "w" {
+				t.Errorf("metadata event = %+v", ev)
+			}
+		case "X":
+			complete++
+			if ev.Pid != 1 || ev.Tid != 1 || ev.Cat != "stage" {
+				t.Errorf("complete event = %+v", ev)
+			}
+			if ev.Dur < 0 {
+				t.Errorf("negative duration: %+v", ev)
+			}
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if meta != 1 || complete != 4 {
+		t.Fatalf("got %d metadata + %d complete events, want 1 + 4", meta, complete)
+	}
+	// The match span carries rule and matches args; ts/dur are microseconds.
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == StageMatch {
+			if ev.Args["rule"] != "r1" || ev.Args["matches"] != float64(2) {
+				t.Fatalf("match args = %v", ev.Args)
+			}
+			if ev.Ts != 4000 || ev.Dur != 4000 {
+				t.Fatalf("match ts/dur = %v/%v µs, want 4000/4000", ev.Ts, ev.Dur)
+			}
+		}
+		if ev.Name == StageFile && ev.Args["file"] != "a.c" {
+			t.Fatalf("file args = %v", ev.Args)
+		}
+	}
+}
+
+// TestForkNaming: forked tracks inherit the parent name as a prefix and get
+// fresh tids.
+func TestForkNaming(t *testing.T) {
+	tr := New()
+	tk := tr.Track("worker-1")
+	fk := tk.Fork("seg-0")
+	if fk.name != "worker-1/seg-0" {
+		t.Fatalf("fork name = %q", fk.name)
+	}
+	if fk.tid == tk.tid {
+		t.Fatalf("fork shares tid %d with parent", fk.tid)
+	}
+}
+
+// TestConcurrentTracks hammers track creation and span recording from many
+// goroutines; run under -race this pins the one-track-per-goroutine design.
+func TestConcurrentTracks(t *testing.T) {
+	tr := New()
+	root := tr.Track("root")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			tk := root.Fork(fmt.Sprintf("g%d", g))
+			for i := 0; i < 200; i++ {
+				sp := tk.Start(StageMatch).Rule("r").Matches(i % 2)
+				tk.Start(StageCFG).End()
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	p := tr.Profile()
+	if p.Spans != 8*200*2 {
+		t.Fatalf("recorded %d spans, want %d", p.Spans, 8*200*2)
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,425 @@
+// A strict Prometheus text-format (0.0.4) checker over the full /metrics
+// exposition, plus the trace endpoint's contract. The checker enforces what
+// a strict scraper does: every sample belongs to a family announced by
+// exactly one HELP and one TYPE line before it, a family's series are
+// contiguous, histogram buckets are cumulative with ascending bounds and a
+// +Inf bucket equal to _count, and sample names match their family.
+
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promFamily is one parsed metric family.
+type promFamily struct {
+	name    string
+	typ     string
+	samples []promSample
+}
+
+type promSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parsePromText parses a text-format exposition strictly, failing the test
+// on any violation of the format invariants.
+func parsePromText(t *testing.T, body string) []promFamily {
+	t.Helper()
+	var fams []promFamily
+	seen := map[string]bool{}
+	var cur *promFamily
+	helped := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for n := 1; sc.Scan(); n++ {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				t.Fatalf("line %d: malformed HELP: %q", n, line)
+			}
+			if helped[name] {
+				t.Fatalf("line %d: duplicate HELP for %s", n, name)
+			}
+			helped[name] = true
+			if seen[name] {
+				t.Fatalf("line %d: HELP for %s after its samples", n, name)
+			}
+			fams = append(fams, promFamily{name: name})
+			cur = &fams[len(fams)-1]
+		case strings.HasPrefix(line, "# TYPE "):
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", n, line)
+			}
+			if cur == nil || cur.name != fields[0] || cur.typ != "" || len(cur.samples) > 0 {
+				t.Fatalf("line %d: TYPE %s not immediately after its HELP", n, fields[0])
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown type %q", n, fields[1])
+			}
+			cur.typ = fields[1]
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unexpected comment %q", n, line)
+		default:
+			s := parsePromSample(t, n, line)
+			base := s.name
+			if cur != nil && cur.typ == "histogram" {
+				for _, suf := range []string{"_bucket", "_sum", "_count"} {
+					if trimmed, ok := strings.CutSuffix(s.name, suf); ok && trimmed == cur.name {
+						base = trimmed
+						break
+					}
+				}
+			}
+			if cur == nil || cur.typ == "" || base != cur.name {
+				t.Fatalf("line %d: sample %s outside its family block (open family %v)", n, s.name, cur)
+			}
+			seen[cur.name] = true
+			cur.samples = append(cur.samples, s)
+		}
+	}
+	for _, f := range fams {
+		if f.typ == "" {
+			t.Fatalf("family %s has HELP but no TYPE", f.name)
+		}
+		if f.typ == "histogram" {
+			checkPromHistogram(t, f)
+		}
+	}
+	return fams
+}
+
+// parsePromSample parses `name{k="v",...} value`.
+func parsePromSample(t *testing.T, n int, line string) promSample {
+	t.Helper()
+	s := promSample{labels: map[string]string{}}
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		t.Fatalf("line %d: malformed sample %q", n, line)
+	} else {
+		s.name = rest[:i]
+		rest = rest[i:]
+	}
+	if strings.HasPrefix(rest, "{") {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			t.Fatalf("line %d: unterminated labels in %q", n, line)
+		}
+		for _, pair := range strings.Split(rest[1:end], ",") {
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || !strings.HasPrefix(v, `"`) || !strings.HasSuffix(v, `"`) {
+				t.Fatalf("line %d: malformed label %q", n, pair)
+			}
+			if _, dup := s.labels[k]; dup {
+				t.Fatalf("line %d: duplicate label %s", n, k)
+			}
+			s.labels[k] = v[1 : len(v)-1]
+		}
+		rest = rest[end+1:]
+	}
+	fields := strings.Fields(rest)
+	if len(fields) != 1 {
+		t.Fatalf("line %d: want exactly one value in %q", n, line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		t.Fatalf("line %d: bad value %q: %v", n, fields[0], err)
+	}
+	s.value = v
+	return s
+}
+
+// checkPromHistogram verifies one histogram family: per label set, buckets
+// are cumulative over ascending le bounds, the +Inf bucket exists and
+// equals _count, and _sum/_count are present exactly once.
+func checkPromHistogram(t *testing.T, f promFamily) {
+	t.Helper()
+	type series struct {
+		buckets []promSample
+		sum     *promSample
+		count   *promSample
+	}
+	byKey := map[string]*series{}
+	key := func(labels map[string]string) string {
+		kv := make([]string, 0, len(labels))
+		for k, v := range labels {
+			if k != "le" {
+				kv = append(kv, k+"="+v)
+			}
+		}
+		sort.Strings(kv)
+		return strings.Join(kv, ",")
+	}
+	get := func(labels map[string]string) *series {
+		k := key(labels)
+		if byKey[k] == nil {
+			byKey[k] = &series{}
+		}
+		return byKey[k]
+	}
+	for _, s := range f.samples {
+		sr := get(s.labels)
+		switch {
+		case s.name == f.name+"_bucket":
+			if _, ok := s.labels["le"]; !ok {
+				t.Fatalf("%s: bucket without le: %v", f.name, s.labels)
+			}
+			sr.buckets = append(sr.buckets, s)
+		case s.name == f.name+"_sum":
+			if sr.sum != nil {
+				t.Fatalf("%s: duplicate _sum for %v", f.name, s.labels)
+			}
+			cp := s
+			sr.sum = &cp
+		case s.name == f.name+"_count":
+			if sr.count != nil {
+				t.Fatalf("%s: duplicate _count for %v", f.name, s.labels)
+			}
+			cp := s
+			sr.count = &cp
+		default:
+			t.Fatalf("%s: unexpected histogram sample %s", f.name, s.name)
+		}
+	}
+	for k, sr := range byKey {
+		if sr.sum == nil || sr.count == nil || len(sr.buckets) == 0 {
+			t.Fatalf("%s{%s}: incomplete histogram series", f.name, k)
+		}
+		prevBound := -1.0
+		prevCount := -1.0
+		infSeen := false
+		for _, b := range sr.buckets {
+			le := b.labels["le"]
+			bound := 0.0
+			if le == "+Inf" {
+				infSeen = true
+				if b.value != sr.count.value {
+					t.Errorf("%s{%s}: +Inf bucket %v != count %v", f.name, k, b.value, sr.count.value)
+				}
+			} else {
+				var err error
+				bound, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("%s{%s}: bad le %q", f.name, k, le)
+				}
+				if infSeen {
+					t.Errorf("%s{%s}: bucket after +Inf", f.name, k)
+				}
+				if bound <= prevBound {
+					t.Errorf("%s{%s}: le bounds not ascending (%v after %v)", f.name, k, bound, prevBound)
+				}
+				prevBound = bound
+			}
+			if b.value < prevCount {
+				t.Errorf("%s{%s}: bucket counts not cumulative (%v after %v)", f.name, k, b.value, prevCount)
+			}
+			prevCount = b.value
+		}
+		if !infSeen {
+			t.Errorf("%s{%s}: no +Inf bucket", f.name, k)
+		}
+	}
+}
+
+// TestMetricsScrapeClean exercises every endpoint once, then holds the full
+// /metrics exposition to the strict checker and spot-checks the families
+// the observability layer added.
+func TestMetricsScrapeClean(t *testing.T) {
+	root := writeCorpus(t, 6)
+	_, ts := newTestServer(t, root)
+
+	if resp, err := http.Post(ts.URL+"/v1/sessions/hpc/run", "application/json", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	src := "void f(int n)\n{\n\tlegacy_halo_exchange(n, 1);\n}\n"
+	if resp, _ := postJSON(t, ts.URL+"/v1/apply", map[string]any{"session": "hpc", "source": src}); resp.StatusCode != 200 {
+		t.Fatalf("apply status %d", resp.StatusCode)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/sessions/hpc/invalidate", nil); resp.StatusCode != 200 {
+		t.Fatalf("invalidate status %d", resp.StatusCode)
+	}
+	getJSON(t, ts.URL+"/healthz", nil)
+	getJSON(t, ts.URL+"/v1/sessions", nil)
+	getJSON(t, ts.URL+"/v1/sessions/hpc/stats", nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams := parsePromText(t, string(body))
+
+	byName := map[string]promFamily{}
+	for _, f := range fams {
+		byName[f.name] = f
+	}
+	for name, typ := range map[string]string{
+		"gocci_serve_http_requests_total":      "counter",
+		"gocci_serve_http_errors_total":        "counter",
+		"gocci_serve_sessions":                 "gauge",
+		"gocci_serve_http_request_seconds":     "histogram",
+		"gocci_serve_session_runs_total":       "counter",
+		"gocci_serve_session_stage_seconds":    "histogram",
+		"gocci_serve_session_tracked_files":    "gauge",
+		"gocci_serve_session_files_read_total": "counter",
+	} {
+		f, ok := byName[name]
+		if !ok {
+			t.Errorf("family %s missing from /metrics", name)
+			continue
+		}
+		if f.typ != typ {
+			t.Errorf("family %s has type %s, want %s", name, f.typ, typ)
+		}
+	}
+
+	// The latency histogram must cover exactly the engine-work endpoints,
+	// each with at least the one observation made above.
+	lat := byName["gocci_serve_http_request_seconds"]
+	counts := map[string]float64{}
+	for _, s := range lat.samples {
+		if s.name == lat.name+"_count" {
+			counts[s.labels["endpoint"]] = s.value
+		}
+	}
+	for _, ep := range []string{"run", "apply", "invalidate"} {
+		if counts[ep] < 1 {
+			t.Errorf("endpoint %s latency histogram has count %v, want >= 1", ep, counts[ep])
+		}
+	}
+	if len(counts) != 3 {
+		t.Errorf("latency endpoints = %v, want exactly run/apply/invalidate", counts)
+	}
+
+	// Stage histograms carry per-session per-stage series; the sweep above
+	// must have observed at least the match stage.
+	stages := map[string]bool{}
+	for _, s := range byName["gocci_serve_session_stage_seconds"].samples {
+		if s.labels["session"] != "hpc" && s.labels["session"] != "" {
+			t.Errorf("unexpected session label %q", s.labels["session"])
+		}
+		if st := s.labels["stage"]; st != "" {
+			stages[st] = true
+		}
+	}
+	for _, want := range []string{"match", "parse", "read", "worker"} {
+		if !stages[want] {
+			t.Errorf("stage %q missing from stage histograms (have %v)", want, stages)
+		}
+	}
+}
+
+// TestTraceEndpoint pins the trace endpoint's contract: 404 with a JSON
+// error before any sweep, Chrome trace JSON after one, and stage self-times
+// on the sweep's NDJSON summary line.
+func TestTraceEndpoint(t *testing.T) {
+	root := writeCorpus(t, 4)
+	_, ts := newTestServer(t, root)
+
+	resp, err := http.Get(ts.URL + "/v1/sessions/hpc/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("trace before run: status %d, want 404", resp.StatusCode)
+	}
+
+	runResp, err := http.Post(ts.URL+"/v1/sessions/hpc/run", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer runResp.Body.Close()
+	var last RunLine
+	sc := bufio.NewScanner(runResp.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+	}
+	if last.Summary == nil {
+		t.Fatal("no summary line")
+	}
+	if len(last.Summary.StageSeconds) == 0 {
+		t.Error("summary line has no stage_seconds")
+	}
+	if _, ok := last.Summary.StageSeconds["match"]; !ok {
+		t.Errorf("summary stage_seconds misses match: %v", last.Summary.StageSeconds)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/sessions/hpc/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("trace after run: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("trace content type %q", ct)
+	}
+	var trace struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&trace); err != nil {
+		t.Fatalf("trace endpoint body is not JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	stages := map[string]bool{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "X" {
+			stages[ev.Name] = true
+		}
+	}
+	for _, want := range []string{"worker", "file", "match"} {
+		if !stages[want] {
+			t.Errorf("sweep trace misses stage %q (have %v)", want, stages)
+		}
+	}
+
+	// An unknown session keeps 404 semantics.
+	if resp, err := http.Get(ts.URL + "/v1/sessions/nope/trace"); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("unknown session trace: status %d", resp.StatusCode)
+		}
+	}
+}

@@ -11,12 +11,14 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/batch"
 	"repro/internal/cache"
+	"repro/internal/obs"
 	"repro/internal/smpl"
 )
 
@@ -41,12 +43,17 @@ type Server struct {
 	compiled *cache.LRU[*batch.Campaign]
 
 	requests httpCounters
+
+	// latency holds per-endpoint request-latency histograms for the
+	// endpoints that do engine work. The map is fixed at construction;
+	// Histogram is internally synchronized.
+	latency map[string]*obs.Histogram
 }
 
 // httpCounters counts requests per endpoint plus error responses.
 type httpCounters struct {
-	healthz, metrics, sessions, stats, run, invalidate, apply atomic.Int64
-	errors                                                    atomic.Int64
+	healthz, metrics, sessions, stats, run, invalidate, apply, trace atomic.Int64
+	errors                                                           atomic.Int64
 }
 
 // NewServer returns a Server with no sessions. defaults configures
@@ -60,6 +67,11 @@ func NewServer(defaults batch.Options) *Server {
 		defaults: defaults,
 		scratch:  cache.NewMemory(nil, 4096),
 		compiled: cache.NewLRU[*batch.Campaign](64, 64),
+		latency: map[string]*obs.Histogram{
+			"run":        obs.NewHistogram(),
+			"apply":      obs.NewHistogram(),
+			"invalidate": obs.NewHistogram(),
+		},
 	}
 	return srv
 }
@@ -116,6 +128,7 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /metrics", srv.handleMetrics)
 	mux.HandleFunc("GET /v1/sessions", srv.handleSessions)
 	mux.HandleFunc("GET /v1/sessions/{id}/stats", srv.handleStats)
+	mux.HandleFunc("GET /v1/sessions/{id}/trace", srv.handleTrace)
 	mux.HandleFunc("POST /v1/sessions/{id}/run", srv.handleRun)
 	mux.HandleFunc("POST /v1/sessions/{id}/invalidate", srv.handleInvalidate)
 	mux.HandleFunc("POST /v1/apply", srv.handleApply)
@@ -170,14 +183,43 @@ func (srv *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// observeLatency records one request's wall time in the endpoint's
+// histogram.
+func (srv *Server) observeLatency(endpoint string, start time.Time) {
+	srv.latency[endpoint].Observe(time.Since(start).Seconds())
+}
+
 func (srv *Server) handleInvalidate(w http.ResponseWriter, r *http.Request) {
 	srv.requests.invalidate.Add(1)
+	defer srv.observeLatency("invalidate", time.Now())
 	s := srv.session(w, r)
 	if s == nil {
 		return
 	}
 	s.Invalidate()
 	writeJSON(w, map[string]string{"status": "invalidated"})
+}
+
+// handleTrace serves the most recent full sweep's Chrome trace-event JSON;
+// 404 until the session has run a sweep.
+func (srv *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	srv.requests.trace.Add(1)
+	s := srv.session(w, r)
+	if s == nil {
+		return
+	}
+	var buf strings.Builder
+	ok, err := s.WriteTrace(&buf)
+	if err != nil {
+		srv.fail(w, http.StatusInternalServerError, "rendering trace: %v", err)
+		return
+	}
+	if !ok {
+		srv.fail(w, http.StatusNotFound, "session %q has no sweep trace yet; POST /v1/sessions/%s/run first", s.ID(), s.ID())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	io.WriteString(w, buf.String())
 }
 
 // RunLine is one NDJSON line of a streamed sweep: per-file lines first, in
@@ -228,6 +270,9 @@ type RunSummary struct {
 	Warnings     int            `json:"warnings,omitempty"`
 	ElapsedMS    int64          `json:"elapsed_ms"`
 	PerPatch     []PatchSummary `json:"per_patch,omitempty"`
+	// StageSeconds is the sweep's per-stage self-time in seconds, from the
+	// run's trace (worker/file entries are pool glue and scheduling).
+	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
 }
 
 // PatchSummary is one campaign member's aggregate over a sweep — the wire
@@ -304,6 +349,7 @@ func fileLine(fr batch.CampaignFileResult, includeOutput bool) RunLine {
 // their on-disk content is the output).
 func (srv *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	srv.requests.run.Add(1)
+	defer srv.observeLatency("run", time.Now())
 	s := srv.session(w, r)
 	if s == nil {
 		return
@@ -342,6 +388,7 @@ func (srv *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		Warnings:     stats.Warnings,
 		ElapsedMS:    time.Since(start).Milliseconds(),
 		PerPatch:     patchSummaries(stats.PerPatch),
+		StageSeconds: stats.StageSeconds,
 	}})
 }
 
@@ -372,6 +419,7 @@ type ApplyResponse struct {
 
 func (srv *Server) handleApply(w http.ResponseWriter, r *http.Request) {
 	srv.requests.apply.Add(1)
+	defer srv.observeLatency("apply", time.Now())
 	var req ApplyRequest
 	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBody+1))
 	if err != nil {
@@ -487,10 +535,17 @@ func (srv *Server) applyInline(session *Session, req ApplyRequest) (batch.Campai
 	return out, nil
 }
 
+// handleMetrics renders the Prometheus exposition. Families are emitted
+// family-major (all of a family's series contiguous, one HELP and one TYPE
+// line each) through obs.PromWriter, which panics on any violation of the
+// text-format invariants — the strict-parser test keeps this honest.
 func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	srv.requests.metrics.Add(1)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	c := &srv.requests
+	p := obs.NewPromWriter(w)
+
+	p.Family("gocci_serve_http_requests_total", "counter", "HTTP requests received, by endpoint.")
 	for _, m := range []struct {
 		endpoint string
 		n        int64
@@ -502,43 +557,63 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"run", c.run.Load()},
 		{"invalidate", c.invalidate.Load()},
 		{"apply", c.apply.Load()},
+		{"trace", c.trace.Load()},
 	} {
-		fmt.Fprintf(w, "gocci_serve_http_requests_total{endpoint=%q} %d\n", m.endpoint, m.n)
+		p.Sample("", [][2]string{{"endpoint", m.endpoint}}, float64(m.n))
 	}
-	fmt.Fprintf(w, "gocci_serve_http_errors_total %d\n", c.errors.Load())
+	p.Counter("gocci_serve_http_errors_total", "HTTP error responses sent.", nil, float64(c.errors.Load()))
+
 	sessions := srv.sessionList()
-	fmt.Fprintf(w, "gocci_serve_sessions %d\n", len(sessions))
-	for _, s := range sessions {
-		st := s.Stats()
-		id := st.ID
-		for _, g := range []struct {
-			name string
-			n    int64
-		}{
-			{"tracked_files", int64(st.TrackedFiles)},
-			{"runs_total", st.Runs},
-			{"applies_total", st.Applies},
-			{"files_processed_total", st.FilesProcessed},
-			{"files_changed_total", st.FilesChanged},
-			{"file_errors_total", st.FileErrors},
-			{"patch_results_cached_total", st.PatchCached},
-			{"patch_results_skipped_total", st.PatchSkipped},
-			{"functions_matched_total", st.FuncsMatched},
-			{"functions_cached_total", st.FuncsCached},
-			{"files_parsed_total", st.FilesParsed},
-			{"files_read_total", st.FilesRead},
-			{"edits_demoted_total", st.Demoted},
-			{"verify_warnings_total", st.Warnings},
-			{"ast_cache_entries", int64(st.ASTEntries)},
-			{"ast_cache_hits_total", st.ASTHits},
-			{"ast_cache_misses_total", st.ASTMisses},
-			{"mem_cache_entries", int64(st.MemEntries)},
-			{"mem_cache_hits_total", st.MemHits},
-			{"mem_cache_misses_total", st.MemMisses},
-			{"invalidations_total", st.Invalidations},
-			{"watch_scans_total", st.WatchScans},
-		} {
-			fmt.Fprintf(w, "gocci_serve_session_%s{session=%q} %d\n", g.name, id, g.n)
+	p.Gauge("gocci_serve_sessions", "Registered sessions.", nil, float64(len(sessions)))
+
+	p.Family("gocci_serve_http_request_seconds", "histogram", "Request latency by endpoint, for the endpoints that do engine work.")
+	for _, endpoint := range []string{"apply", "invalidate", "run"} {
+		p.HistogramSeries([][2]string{{"endpoint", endpoint}}, srv.latency[endpoint].Snapshot())
+	}
+
+	stats := make([]SessionStats, len(sessions))
+	for i, s := range sessions {
+		stats[i] = s.Stats()
+	}
+	// Family-major over the per-session counters: the outer loop is the
+	// family, the inner the sessions, so a family's series stay contiguous.
+	for _, fam := range []struct {
+		name, typ, help string
+		value           func(st SessionStats) float64
+	}{
+		{"tracked_files", "gauge", "Corpus files with resident stat and hash.", func(st SessionStats) float64 { return float64(st.TrackedFiles) }},
+		{"runs_total", "counter", "Full corpus sweeps served.", func(st SessionStats) float64 { return float64(st.Runs) }},
+		{"applies_total", "counter", "Single-file applies served.", func(st SessionStats) float64 { return float64(st.Applies) }},
+		{"files_processed_total", "counter", "Files processed across all requests.", func(st SessionStats) float64 { return float64(st.FilesProcessed) }},
+		{"files_changed_total", "counter", "Files changed across all requests.", func(st SessionStats) float64 { return float64(st.FilesChanged) }},
+		{"file_errors_total", "counter", "Per-file errors across all requests.", func(st SessionStats) float64 { return float64(st.FileErrors) }},
+		{"patch_results_cached_total", "counter", "Per-patch outcomes replayed from the result cache.", func(st SessionStats) float64 { return float64(st.PatchCached) }},
+		{"patch_results_skipped_total", "counter", "Per-patch outcomes skipped by the prefilter.", func(st SessionStats) float64 { return float64(st.PatchSkipped) }},
+		{"functions_matched_total", "counter", "Function segments matched fresh.", func(st SessionStats) float64 { return float64(st.FuncsMatched) }},
+		{"functions_cached_total", "counter", "Function segments replayed from the segment cache.", func(st SessionStats) float64 { return float64(st.FuncsCached) }},
+		{"files_parsed_total", "counter", "Input files parsed.", func(st SessionStats) float64 { return float64(st.FilesParsed) }},
+		{"files_read_total", "counter", "Input files read.", func(st SessionStats) float64 { return float64(st.FilesRead) }},
+		{"edits_demoted_total", "counter", "Unsafe edits demoted by the verifier.", func(st SessionStats) float64 { return float64(st.Demoted) }},
+		{"verify_warnings_total", "counter", "Verifier findings reported.", func(st SessionStats) float64 { return float64(st.Warnings) }},
+		{"ast_cache_entries", "gauge", "Resident parse trees.", func(st SessionStats) float64 { return float64(st.ASTEntries) }},
+		{"ast_cache_hits_total", "counter", "Parse-tree cache hits.", func(st SessionStats) float64 { return float64(st.ASTHits) }},
+		{"ast_cache_misses_total", "counter", "Parse-tree cache misses.", func(st SessionStats) float64 { return float64(st.ASTMisses) }},
+		{"mem_cache_entries", "gauge", "In-memory scan/result cache entries.", func(st SessionStats) float64 { return float64(st.MemEntries) }},
+		{"mem_cache_hits_total", "counter", "In-memory cache hits.", func(st SessionStats) float64 { return float64(st.MemHits) }},
+		{"mem_cache_misses_total", "counter", "In-memory cache misses.", func(st SessionStats) float64 { return float64(st.MemMisses) }},
+		{"invalidations_total", "counter", "Explicit invalidations.", func(st SessionStats) float64 { return float64(st.Invalidations) }},
+		{"watch_scans_total", "counter", "Poll-watcher scans completed.", func(st SessionStats) float64 { return float64(st.WatchScans) }},
+	} {
+		p.Family("gocci_serve_session_"+fam.name, fam.typ, fam.help)
+		for _, st := range stats {
+			p.Sample("", [][2]string{{"session", st.ID}}, fam.value(st))
+		}
+	}
+
+	p.Family("gocci_serve_session_stage_seconds", "histogram", "Per-request pipeline stage self-time, by session and stage.")
+	for i, s := range sessions {
+		for _, sm := range s.stageMetrics() {
+			p.HistogramSeries([][2]string{{"session", stats[i].ID}, {"stage", sm.stage}}, sm.snap)
 		}
 	}
 }

@@ -18,6 +18,7 @@ package serve
 
 import (
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -29,6 +30,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/cache"
 	"repro/internal/cast"
+	"repro/internal/obs"
 	"repro/internal/smpl"
 )
 
@@ -141,6 +143,15 @@ type Session struct {
 	watchStop chan struct{}
 	watchDone chan struct{}
 	stopOnce  sync.Once
+
+	// Observability: every request runs under a fresh per-request tracer
+	// (CollectStatesT), whose profile folds into per-stage latency
+	// histograms and cumulative self-time totals; the most recent full
+	// sweep's trace is kept for GET /v1/sessions/{id}/trace.
+	obsMu     sync.Mutex
+	lastTrace *obs.Tracer
+	stageHist map[string]*obs.Histogram
+	stageSelf map[string]float64
 }
 
 // fileEntry is the resident validation record for one corpus file: the
@@ -169,11 +180,13 @@ func NewSession(cfg Config) (*Session, error) {
 		return nil, fmt.Errorf("serve: session %s: root %s is not a directory", id, cfg.Root)
 	}
 	s := &Session{
-		id:      id,
-		root:    cfg.Root,
-		patches: cfg.Patches,
-		files:   map[string]*fileEntry{},
-		asts:    cache.NewLRU[*cast.File](cfg.ASTCacheSize, 256),
+		id:        id,
+		root:      cfg.Root,
+		patches:   cfg.Patches,
+		files:     map[string]*fileEntry{},
+		asts:      cache.NewLRU[*cast.File](cfg.ASTCacheSize, 256),
+		stageHist: map[string]*obs.Histogram{},
+		stageSelf: map[string]float64{},
 	}
 	opts := cfg.Options
 	if opts.CacheDir != "" {
@@ -300,6 +313,9 @@ type RunStats struct {
 	// and findings across the campaign (Options.Verify runs only).
 	Demoted  int
 	Warnings int
+	// StageSeconds is this sweep's per-stage self-time in seconds (worker
+	// and file umbrella time is pool glue and scheduling).
+	StageSeconds map[string]float64
 }
 
 // Run sweeps the whole corpus through the campaign, streaming per-file
@@ -323,11 +339,68 @@ func (s *Session) Run(fn func(batch.CampaignFileResult) error) (RunStats, error)
 		// no resident seed and the read reports the per-file error.
 		states[i] = s.state(path, infos[i])
 	}
-	st, err := s.campaign.CollectStates(states, fn)
+	tr := obs.New()
+	st, err := s.campaign.CollectStatesT(states, tr, fn)
 	for i := range states {
 		s.harvest(paths[i], infos[i], states[i])
 	}
-	return s.account(st, states), err
+	out := s.account(st, states)
+	out.StageSeconds = s.observe(tr, true)
+	return out, err
+}
+
+// observe folds one request's trace into the session's stage histograms and
+// cumulative totals, returning the request's per-stage self-seconds. keep
+// retains the trace as the session's most recent (full sweeps only, so a
+// stream of tiny applies never evicts the interesting trace).
+func (s *Session) observe(tr *obs.Tracer, keep bool) map[string]float64 {
+	stages := tr.Profile().StageSeconds()
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	for stage, sec := range stages {
+		h := s.stageHist[stage]
+		if h == nil {
+			h = obs.NewHistogram()
+			s.stageHist[stage] = h
+		}
+		h.Observe(sec)
+		s.stageSelf[stage] += sec
+	}
+	if keep {
+		s.lastTrace = tr
+	}
+	return stages
+}
+
+// WriteTrace writes the most recent full sweep's Chrome trace-event JSON to
+// w, reporting false when no sweep has run yet.
+func (s *Session) WriteTrace(w io.Writer) (bool, error) {
+	s.obsMu.Lock()
+	tr := s.lastTrace
+	s.obsMu.Unlock()
+	if tr == nil {
+		return false, nil
+	}
+	return true, tr.WriteJSON(w)
+}
+
+// stageMetric pairs one stage with its latency-histogram snapshot.
+type stageMetric struct {
+	stage string
+	snap  obs.HistSnapshot
+}
+
+// stageMetrics snapshots the per-stage histograms in sorted stage order,
+// the shape /metrics renders.
+func (s *Session) stageMetrics() []stageMetric {
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	out := make([]stageMetric, 0, len(s.stageHist))
+	for stage, h := range s.stageHist {
+		out = append(out, stageMetric{stage: stage, snap: h.Snapshot()})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].stage < out[j].stage })
+	return out
 }
 
 // account folds a completed sweep into the session counters and totals.
@@ -412,10 +485,12 @@ func (s *Session) runOne(st *batch.FileState) (batch.CampaignFileResult, error) 
 // runOneWith sweeps a single state through camp, accounting the outcome.
 func (s *Session) runOneWith(camp *batch.Campaign, st *batch.FileState) (batch.CampaignFileResult, error) {
 	var out batch.CampaignFileResult
-	stats, err := camp.CollectStates([]*batch.FileState{st}, func(fr batch.CampaignFileResult) error {
+	tr := obs.New()
+	stats, err := camp.CollectStatesT([]*batch.FileState{st}, tr, func(fr batch.CampaignFileResult) error {
 		out = fr
 		return nil
 	})
+	s.observe(tr, false)
 	if err != nil {
 		return batch.CampaignFileResult{}, err
 	}
@@ -460,6 +535,10 @@ type SessionStats struct {
 	Warnings       int64 `json:"verify_warnings"`
 	FilesParsed    int64 `json:"files_parsed"`
 	FilesRead      int64 `json:"files_read"`
+
+	// StageSeconds is cumulative per-stage self-time across all requests,
+	// in seconds (pipeline stages plus the worker/file umbrella glue).
+	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
 
 	// Resident cache state.
 	ASTEntries int    `json:"ast_entries"`
@@ -511,6 +590,14 @@ func (s *Session) Stats() SessionStats {
 		Invalidations:  s.invalidations.Load(),
 		WatchScans:     s.watchScans.Load(),
 	}
+	s.obsMu.Lock()
+	if len(s.stageSelf) > 0 {
+		st.StageSeconds = make(map[string]float64, len(s.stageSelf))
+		for k, v := range s.stageSelf {
+			st.StageSeconds[k] = v
+		}
+	}
+	s.obsMu.Unlock()
 	if s.disk != nil {
 		st.DiskCache = s.disk.Dir()
 	}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/diff"
+	"repro/internal/obs"
 	"repro/internal/smpl"
 	"repro/internal/verify"
 )
@@ -97,7 +98,33 @@ type Options struct {
 	// cache, so verified and unverified runs never share cached outcomes.
 	// Ignored by the single-threaded Applier. See docs/hpc.md.
 	Verify bool
+	// Tracer, when non-nil, collects pipeline spans for the run: read, hash,
+	// prefilter, parse, segment, CFG build, match (attributed per rule),
+	// verify, render, and cache traffic, one track per worker. Render the
+	// buffer with Tracer.WriteJSON (Chrome trace-event JSON, loadable in
+	// Perfetto) or aggregate it with Tracer.Profile. Create one with
+	// NewTracer per run; tracing never changes outputs and a nil Tracer
+	// costs a single pointer check per instrumentation site. See
+	// docs/observability.md.
+	Tracer *Tracer
 }
+
+// Tracer is a per-run trace buffer for pipeline observability; see
+// Options.Tracer and docs/observability.md. The zero value is not usable —
+// create tracers with NewTracer.
+type Tracer = obs.Tracer
+
+// Profile is the aggregate view of one traced run: per-stage self-time,
+// per-rule fire/miss/time attribution, cache hit breakdown, and prefilter
+// skip counts. Obtain one with Tracer.Profile after the run completes;
+// Format renders the table `gocci --profile` prints.
+type Profile = obs.Profile
+
+// NewTracer creates an enabled trace buffer for one run. Hand it to
+// Options.Tracer, run, then render with WriteJSON or aggregate with
+// Profile. A Tracer must not be shared by concurrent runs — each run gets
+// its own.
+func NewTracer() *Tracer { return obs.New() }
 
 func (o Options) internal() core.Options {
 	return core.Options{
@@ -110,7 +137,7 @@ func (o Options) batch() batch.Options {
 	return batch.Options{
 		Engine: o.internal(), Workers: o.Workers,
 		NoPrefilter: o.NoPrefilter, CacheDir: o.CacheDir, NoFuncCache: o.NoFuncCache,
-		Verify: o.Verify,
+		Verify: o.Verify, Tracer: o.Tracer,
 	}
 }
 
@@ -163,6 +190,21 @@ func (p *Patch) Rules() []string {
 	out := make([]string, 0, len(p.p.Rules))
 	for _, r := range p.p.Rules {
 		out = append(out, r.Name)
+	}
+	return out
+}
+
+// FireableRules returns, in order, the names of the rules that can fire —
+// match and script rules, whose match counts appear in MatchCount.
+// Initialize and finalize rules run unconditionally and are excluded. Front
+// ends compare this list against a sweep's match counts to flag rules that
+// never fired anywhere (dead weight in a campaign).
+func (p *Patch) FireableRules() []string {
+	out := []string{}
+	for _, r := range p.p.Rules {
+		if r.Kind == smpl.MatchRule || r.Kind == smpl.ScriptRule {
+			out = append(out, r.Name)
+		}
 	}
 	return out
 }
@@ -225,7 +267,11 @@ type Applier struct {
 
 // NewApplier builds an engine for the patch.
 func NewApplier(p *Patch, opts Options) *Applier {
-	return &Applier{eng: core.New(p.p, opts.internal())}
+	a := &Applier{eng: core.New(p.p, opts.internal())}
+	if opts.Tracer != nil {
+		a.eng.SetTrace(opts.Tracer.Track("applier"))
+	}
+	return a
 }
 
 // RegisterScript installs a Go handler for the named script rule (instead of

@@ -8,6 +8,7 @@ package sempatch
 // (Server.Handler, the API cmd/gocci-serve exposes); see docs/serve.md.
 
 import (
+	"io"
 	"net/http"
 	"time"
 
@@ -31,7 +32,8 @@ func NewServer(defaults Options) *Server {
 
 // Handler returns the HTTP handler serving the API documented in
 // docs/serve.md: GET /healthz, GET /metrics, GET /v1/sessions,
-// GET /v1/sessions/{id}/stats, POST /v1/sessions/{id}/run (NDJSON stream),
+// GET /v1/sessions/{id}/stats, GET /v1/sessions/{id}/trace,
+// POST /v1/sessions/{id}/run (NDJSON stream),
 // POST /v1/sessions/{id}/invalidate, and POST /v1/apply.
 func (s *Server) Handler() http.Handler { return s.s.Handler() }
 
@@ -131,6 +133,10 @@ type ServeRunStats struct {
 	// and findings across the campaign (Options.Verify runs only).
 	Demoted  int
 	Warnings int
+	// StageSeconds is this sweep's per-stage self-time in seconds, from the
+	// run's internal trace ("worker" and "file" are pool glue and
+	// scheduling; the rest are pipeline stages).
+	StageSeconds map[string]float64
 }
 
 // Run sweeps the whole corpus through the campaign, streaming per-file
@@ -154,8 +160,14 @@ func (s *Session) Run(fn func(CampaignFileResult) error) (ServeRunStats, error) 
 		Read:          st.Read,
 		Demoted:       st.Demoted,
 		Warnings:      st.Warnings,
+		StageSeconds:  st.StageSeconds,
 	}, err
 }
+
+// WriteTrace writes the most recent full sweep's trace as Chrome
+// trace-event JSON (loadable in Perfetto), reporting false when the session
+// has not swept yet — the same payload GET /v1/sessions/{id}/trace serves.
+func (s *Session) WriteTrace(w io.Writer) (bool, error) { return s.s.WriteTrace(w) }
 
 // ApplyPath applies the session's campaign to one corpus file named
 // relative to the root, reusing and refreshing resident artifacts. The

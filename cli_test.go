@@ -557,6 +557,170 @@ func TestCLIExitCodes(t *testing.T) {
 	if code, out := exitCode(t, bin, "--sp-file", "testdata/rename.cocci", noMatch); code != 0 {
 		t.Errorf("no changes: exit %d, want 0\n%s", code, out)
 	}
+
+	// Check mode: findings at or above --fail-on exit 1, a clean tree exits
+	// 0, and check-specific usage errors exit 2.
+	checkPatch := filepath.Join(dir, "check.cocci")
+	if err := os.WriteFile(checkPatch, []byte(
+		"// gocci:check id=no-old-init severity=warning msg=\"legacy init old_solver_init(A, B)\"\n"+
+			"@legacy@\nexpression A, B;\n@@\n* old_solver_init(A, B);\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out := exitCode(t, bin, "--check", "--fail-on", "warning", "--sp-file", checkPatch, okSrc); code != 1 {
+		t.Errorf("check with findings at threshold: exit %d, want 1\n%s", code, out)
+	}
+	if code, out := exitCode(t, bin, "--check", "--sp-file", checkPatch, okSrc); code != 0 {
+		// Default --fail-on is error; these findings are warnings.
+		t.Errorf("check with findings below threshold: exit %d, want 0\n%s", code, out)
+	}
+	if code, out := exitCode(t, bin, "--check", "--fail-on", "info", "--sp-file", checkPatch, noMatch); code != 0 {
+		t.Errorf("clean check: exit %d, want 0\n%s", code, out)
+	}
+	for _, args := range [][]string{
+		{"--check", "--in-place", "--sp-file", checkPatch, okSrc},
+		{"--check", "--format", "xml", "--sp-file", checkPatch, okSrc},
+		{"--check", "--fail-on", "fatal", "--sp-file", checkPatch, okSrc},
+		{"--check", "--baseline-write", "--sp-file", checkPatch, okSrc},
+		{"--baseline", "b.json", "--sp-file", checkPatch, okSrc},
+	} {
+		if code, out := exitCode(t, bin, args...); code != 2 {
+			t.Errorf("gocci %v: exit %d, want 2\n%s", args, code, out)
+		}
+	}
+}
+
+// TestCLICheckMode exercises the static-analysis surface end to end:
+// reporter formats, the warm-cache "parsed: 0" sweep, the baseline
+// write/suppress workflow across unrelated edits, and the --stats labelling
+// of silent check rules.
+func TestCLICheckMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gocci")
+	dir := t.TempDir()
+	tree := filepath.Join(dir, "tree")
+	if err := os.MkdirAll(tree, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	src := "int f(int x)\n{\n\tsync_api(x);\n\treturn x;\n}\nint g(int y)\n{\n\treturn y + 1;\n}\n"
+	if err := os.WriteFile(filepath.Join(tree, "a.c"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	patch := filepath.Join(dir, "check.cocci")
+	if err := os.WriteFile(patch, []byte(
+		"// gocci:check id=sync-call severity=error msg=\"blocking call of sync_api(E)\"\n"+
+			"@s@\nexpression E;\n@@\n* sync_api(E);\n\n"+
+			"// gocci:check id=quiet severity=info msg=\"never present\"\n"+
+			"@q@\n@@\n* never_called_anywhere();\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Text format: compiler style, message interpolated, and no diff output.
+	code, out := exitCode(t, bin, "--check", "--sp-file", patch, filepath.Join(tree, "a.c"))
+	if code != 1 {
+		t.Fatalf("check: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "a.c:3:2: error: blocking call of sync_api(x) [sync-call]") {
+		t.Errorf("text finding missing:\n%s", out)
+	}
+	if strings.Contains(out, "@@") || strings.Contains(out, "---") {
+		t.Errorf("check mode printed a diff:\n%s", out)
+	}
+
+	// NDJSON format: one JSON object per finding.
+	_, out = exitCode(t, bin, "--check", "--format", "json", "--sp-file", patch, filepath.Join(tree, "a.c"))
+	if !strings.Contains(out, `"check":"sync-call"`) || !strings.Contains(out, `"severity":"error"`) {
+		t.Errorf("json finding missing:\n%s", out)
+	}
+
+	// SARIF format parses and carries the baseline fingerprint.
+	_, out = exitCode(t, bin, "--check", "--format", "sarif", "--sp-file", patch, filepath.Join(tree, "a.c"))
+	if !strings.Contains(out, `"version": "2.1.0"`) || !strings.Contains(out, "gocciBaseline/v1") {
+		t.Errorf("sarif output missing required fields:\n%s", out)
+	}
+
+	// Warm sweep: the second recursive run replays from the cache and
+	// reports parsed: 0, with the findings intact.
+	cacheDir := filepath.Join(dir, "cache")
+	code, out = exitCode(t, bin, "--check", "--fail-on", "info", "-r", "--cache-dir", cacheDir, tree, patch)
+	if code != 1 || !strings.Contains(out, "parsed: 1") {
+		t.Fatalf("cold sweep: exit %d\n%s", code, out)
+	}
+	code, out = exitCode(t, bin, "--check", "--fail-on", "info", "-r", "--cache-dir", cacheDir, tree, patch)
+	if code != 1 {
+		t.Fatalf("warm sweep: exit %d, want 1\n%s", code, out)
+	}
+	if !strings.Contains(out, "parsed: 0") {
+		t.Errorf("warm sweep did not replay from the cache:\n%s", out)
+	}
+	if !strings.Contains(out, "[sync-call]") {
+		t.Errorf("warm sweep lost the findings:\n%s", out)
+	}
+
+	// Baseline workflow: record, then suppress — including across an edit
+	// to an unrelated function, which must introduce zero new findings.
+	baseline := filepath.Join(dir, "bl.json")
+	if code, out := exitCode(t, bin, "--check", "--baseline", baseline, "--baseline-write", "-r", tree, patch); code != 0 {
+		t.Fatalf("baseline write: exit %d\n%s", code, out)
+	}
+	if code, out := exitCode(t, bin, "--check", "--baseline", baseline, "-r", tree, patch); code != 0 || !strings.Contains(out, "suppressed by baseline") {
+		t.Fatalf("baseline run: exit %d\n%s", code, out)
+	}
+	edited := strings.Replace(src, "return y + 1;", "int z = y * 2;\n\treturn z + 1;", 1)
+	if edited == src {
+		t.Fatal("edit did not apply")
+	}
+	if err := os.WriteFile(filepath.Join(tree, "a.c"), []byte(edited), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out = exitCode(t, bin, "--check", "--baseline", baseline, "-r", tree, patch)
+	if code != 0 {
+		t.Fatalf("baseline after unrelated edit: exit %d\n%s", code, out)
+	}
+	if !strings.Contains(out, "0 findings") || !strings.Contains(out, "1 suppressed by baseline") {
+		t.Errorf("unrelated edit produced new findings:\n%s", out)
+	}
+
+	// --stats labels a silent check rule distinctly from a silent
+	// transform rule.
+	_, out = exitCode(t, bin, "--check", "--stats", "--sp-file", patch, filepath.Join(tree, "a.c"))
+	if !strings.Contains(out, "check rule q never fired") {
+		t.Errorf("silent check rule not labelled:\n%s", out)
+	}
+}
+
+// TestCLIVet exercises the patch linter subcommand: clean patches exit 0,
+// patches with issues print them and exit 1, and no arguments is a usage
+// error.
+func TestCLIVet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gocci")
+	dir := t.TempDir()
+
+	if code, out := exitCode(t, bin, "vet"); code != 2 {
+		t.Errorf("vet without args: exit %d, want 2\n%s", code, out)
+	}
+	if code, out := exitCode(t, bin, "vet", "testdata/rename.cocci"); code != 0 {
+		t.Errorf("vet clean patch: exit %d, want 0\n%s", code, out)
+	}
+	bad := filepath.Join(dir, "bad.cocci")
+	if err := os.WriteFile(bad, []byte(
+		"@a@\nexpression E;\nexpression Dead;\n@@\n- f(E);\n+ g(E);\n\n"+
+			"@b depends on nosuchrule@\nexpression E;\n@@\n- h(E);\n+ k(E);\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out := exitCode(t, bin, "vet", bad)
+	if code != 1 {
+		t.Errorf("vet with issues: exit %d, want 1\n%s", code, out)
+	}
+	for _, w := range []string{"unused-metavar", "unreachable-rule", "Dead"} {
+		if !strings.Contains(out, w) {
+			t.Errorf("vet output missing %q:\n%s", w, out)
+		}
+	}
 }
 
 // TestCLIVersionFlag pins the shared --version convention across all six

@@ -38,6 +38,11 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch precedes flag parsing: `gocci vet patch.cocci`
+	// lints semantic patches without touching any source tree.
+	if len(os.Args) > 1 && os.Args[1] == "vet" {
+		os.Exit(runVet(os.Args[2:]))
+	}
 	showVersion := buildinfo.Setup("gocci")
 	spFile := flag.String("sp-file", "", "semantic patch file (.cocci); may also be given as a positional argument")
 	cxx := flag.Int("cxx", 0, "enable C++ mode with the given standard (11, 17, 23); 0 = C")
@@ -56,6 +61,12 @@ func main() {
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON profile of the run to this file (load in Perfetto)")
 	profile := flag.Bool("profile", false, "print an aggregate profile to stderr: self-time per stage, per-rule attribution, cache and prefilter effectiveness")
 	listCampaigns := flag.Bool("list-campaigns", false, "list the shipped HPC campaigns and exit")
+	campaignName := flag.String("campaign", "", "run a shipped HPC campaign by name (see --list-campaigns) in addition to any .cocci arguments")
+	check := flag.Bool("check", false, "match-only static analysis: report check-rule findings instead of diffs; exit 1 when findings at or above --fail-on remain")
+	format := flag.String("format", "text", "finding output format for --check: text, json (NDJSON, the gocci-serve stream shape), or sarif")
+	baselinePath := flag.String("baseline", "", "baseline file for --check: suppress the findings it records (write it with --baseline-write)")
+	baselineWrite := flag.Bool("baseline-write", false, "record the current --check findings to --baseline PATH instead of gating on them")
+	failOn := flag.String("fail-on", "error", "minimum finding severity that fails a --check run: error, warning, or info")
 	var defines defineList
 	flag.Var(&defines, "D", "define a virtual dependency name (repeatable)")
 	flag.Parse()
@@ -85,20 +96,46 @@ func main() {
 		}
 	}
 	args = rest
-	if len(patchFiles) == 0 || len(args) == 0 {
+	if (len(patchFiles) == 0 && *campaignName == "") || len(args) == 0 {
 		fmt.Fprintln(os.Stderr, "usage: gocci --sp-file patch.cocci [options] file.c ...")
 		fmt.Fprintln(os.Stderr, "       gocci [-j N] -r [options] dir ... patch.cocci [more.cocci ...]")
+		fmt.Fprintln(os.Stderr, "       gocci vet patch.cocci [more.cocci ...]")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	cfg := checkConfig{enabled: *check, format: *format, baselinePath: *baselinePath,
+		baselineWrite: *baselineWrite, failOn: *failOn}
+	if err := cfg.validate(*inPlace); err != nil {
+		fmt.Fprintln(os.Stderr, "gocci:", err)
+		os.Exit(2)
+	}
 
-	patches := make([]*sempatch.Patch, len(patchFiles))
-	for i, pf := range patchFiles {
+	var patches []*sempatch.Patch
+	var patchNames []string
+	var campaign *hpc.Campaign
+	if *campaignName != "" {
+		c, ok := hpc.ByName(*campaignName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "gocci: unknown campaign %q; see --list-campaigns\n", *campaignName)
+			os.Exit(2)
+		}
+		campaign = c
+		cp, err := c.Patches()
+		if err != nil {
+			fatal(err)
+		}
+		patches = append(patches, cp...)
+		for _, n := range c.PatchNames() {
+			patchNames = append(patchNames, c.Name+"/"+n)
+		}
+	}
+	for _, pf := range patchFiles {
 		p, err := sempatch.ParsePatchFile(pf)
 		if err != nil {
 			fatal(err)
 		}
-		patches[i] = p
+		patches = append(patches, p)
+		patchNames = append(patchNames, pf)
 	}
 	if *cacheDir != "" && !*recurse {
 		fmt.Fprintln(os.Stderr, "gocci: warning: --cache-dir only applies to recursive (-r) mode; ignored")
@@ -113,13 +150,23 @@ func main() {
 		Defines: defines, Workers: *workers, NoPrefilter: *noPrefilter,
 		CacheDir: *cacheDir, NoFuncCache: *noFnCache, Verify: *verify,
 	}
+	if campaign != nil {
+		// The campaign dictates its own dialect (C++ standard, CUDA) and
+		// registers its script hooks; user dialect flags still apply to any
+		// extra .cocci patches run alongside via the merged option set.
+		opts = campaign.Options(opts)
+	}
+	if cfg.enabled {
+		cfg.warnIfNoChecks(patches)
+	}
 	var tracer *sempatch.Tracer
 	if *tracePath != "" || *profile {
 		tracer = sempatch.NewTracer()
 		opts.Tracer = tracer
 	}
 
-	g := &gocci{inPlace: *inPlace, quiet: *quiet, ruleMatches: make([]map[string]int, len(patches))}
+	g := &gocci{inPlace: *inPlace, quiet: *quiet, check: cfg.enabled,
+		ruleMatches: make([]map[string]int, len(patches))}
 	for i := range g.ruleMatches {
 		g.ruleMatches[i] = map[string]int{}
 	}
@@ -140,7 +187,7 @@ func main() {
 		for i, p := range patches {
 			for _, r := range p.Rules() {
 				if len(patches) > 1 {
-					fmt.Printf("%s: rule %-20s matches=%d\n", patchFiles[i], r, g.ruleMatches[i][r])
+					fmt.Printf("%s: rule %-20s matches=%d\n", patchNames[i], r, g.ruleMatches[i][r])
 				} else {
 					fmt.Printf("rule %-20s matches=%d\n", r, g.ruleMatches[i][r])
 				}
@@ -171,15 +218,25 @@ func main() {
 	if *stats {
 		// Fireable rules with zero matches across the whole run are dead
 		// weight in the patch set; surface them so campaigns can be pruned.
+		// Match-only check rules are labelled as such: a silent check rule
+		// means "nothing to report here", not a transformation that missed.
 		for i, p := range patches {
+			isCheck := map[string]bool{}
+			for _, r := range p.CheckRules() {
+				isCheck[r] = true
+			}
 			for _, r := range p.FireableRules() {
 				if g.ruleMatches[i][r] != 0 {
 					continue
 				}
+				kind := "rule"
+				if isCheck[r] {
+					kind = "check rule"
+				}
 				if len(patches) > 1 {
-					fmt.Fprintf(os.Stderr, "gocci: rule %s (%s) never fired\n", r, patchFiles[i])
+					fmt.Fprintf(os.Stderr, "gocci: %s %s (%s) never fired\n", kind, r, patchNames[i])
 				} else {
-					fmt.Fprintf(os.Stderr, "gocci: rule %s never fired\n", r)
+					fmt.Fprintf(os.Stderr, "gocci: %s %s never fired\n", kind, r)
 				}
 			}
 		}
@@ -194,6 +251,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "gocci: trace written to %s\n", *tracePath)
 	}
 	g.reportCache()
+	if cfg.enabled {
+		os.Exit(g.finishCheck(cfg))
+	}
 	changed := g.st.Changed + g.cst.Changed
 	if changed == 0 {
 		fmt.Fprintln(os.Stderr, "no changes")
@@ -207,10 +267,12 @@ func main() {
 type gocci struct {
 	inPlace     bool
 	quiet       bool
+	check       bool // --check: collect findings, suppress diffs and writes
 	st          sempatch.BatchStats
 	cst         sempatch.CampaignStats
 	cacheStatus sempatch.CacheStatus
 	ruleMatches []map[string]int // per patch: rule name -> match count
+	findings    []sempatch.Finding
 	hadError    bool
 }
 
@@ -247,6 +309,12 @@ func (g *gocci) emit(fr sempatch.FileResult) error {
 	}
 	if fr.Demoted {
 		fmt.Fprintf(os.Stderr, "gocci: verify: %s: unsafe edit demoted; file left unchanged\n", fr.Name)
+	}
+	g.findings = append(g.findings, fr.Findings...)
+	if g.check {
+		// Match-only reporting: findings are emitted at the end of the run;
+		// any transform a mixed patch set produced is deliberately dropped.
+		return nil
 	}
 	if !fr.Changed() {
 		return nil
@@ -301,7 +369,8 @@ func (g *gocci) runCampaign(patches []*sempatch.Patch, opts sempatch.Options, di
 	}
 	ca := sempatch.NewCampaign(patches, opts)
 	st, err := ca.ApplyAllPathsFunc(paths, func(fr sempatch.CampaignFileResult) error {
-		out := sempatch.FileResult{Name: fr.Name, Output: fr.Output, Diff: fr.Diff, Err: fr.Err}
+		out := sempatch.FileResult{Name: fr.Name, Output: fr.Output, Diff: fr.Diff, Err: fr.Err,
+			Findings: fr.Findings()}
 		for i, o := range fr.Patches {
 			for rule, n := range o.MatchCount {
 				g.ruleMatches[i][rule] += n
@@ -368,6 +437,7 @@ func (g *gocci) runSingle(patches []*sempatch.Patch, opts sempatch.Options, path
 			g.ruleMatches[pi][rule] += n
 			g.st.Matches += n
 		}
+		g.findings = append(g.findings, res.Findings...)
 		for i, f := range files {
 			outputs[f.Name] = res.Outputs[f.Name]
 			diffs[f.Name] = res.Diffs[f.Name]
@@ -375,6 +445,7 @@ func (g *gocci) runSingle(patches []*sempatch.Patch, opts sempatch.Options, path
 		}
 	}
 	g.st.Files = len(files)
+	g.st.Parsed = len(files) // the single-run engine parses every file
 	for _, path := range paths {
 		fr := sempatch.FileResult{Name: path, Output: outputs[path]}
 		if len(patches) == 1 {

@@ -1,0 +1,56 @@
+// `gocci vet` lints semantic patches without running them: unused and
+// unbindable metavariables, rules unreachable through their depends-on
+// chains, shadowed disjunction branches, and rules the batch prefilter can
+// never prune. Exit codes follow the check-mode convention: 0 clean, 1 when
+// any patch fails to parse or has issues, 2 on usage errors.
+
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/smpl"
+)
+
+// runVet implements the vet subcommand over args (everything after "vet").
+func runVet(args []string) int {
+	fs := flag.NewFlagSet("gocci vet", flag.ExitOnError)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: gocci vet patch.cocci [more.cocci ...]")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args) // ExitOnError: a bad flag exits 2 inside Parse
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+	exit := 0
+	total := 0
+	for _, path := range fs.Args() {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gocci: vet:", err)
+			exit = 1
+			continue
+		}
+		p, err := smpl.ParsePatch(path, string(b))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gocci: vet:", err)
+			exit = 1
+			continue
+		}
+		issues := lint.Check(p)
+		for _, is := range issues {
+			fmt.Println(is.String())
+		}
+		total += len(issues)
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "gocci: vet: %d issues\n", total)
+		exit = 1
+	}
+	return exit
+}

@@ -26,6 +26,7 @@ var docFiles = []string{
 	"docs/smpl.md",
 	"docs/batch.md",
 	"docs/cli.md",
+	"docs/check.md",
 	"docs/architecture.md",
 	"docs/serve.md",
 	"docs/hpc.md",

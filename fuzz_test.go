@@ -29,6 +29,8 @@ func FuzzSmPLParse(f *testing.F) {
 	f.Add("virtual fix\n\n@r depends on fix@\nidentifier i;\ntype T;\n@@\n- T i = old();\n+ T i = new();\n  ...\n")
 	f.Add("@s@\n@@\n- a();\n...\nwhen != b(x)\n+ c();\n")
 	f.Add("@script:python p@\nx << r.i;\ny;\n@@\ny = x + \"_v2\"\n")
+	f.Add("// gocci:check id=chk severity=error msg=\"bad call of e\"\n@c@\nexpression e;\nposition p;\n@@\n* risky(e)\n")
+	f.Add("@s@\nexpression x;\n@@\n* x = malloc(1);\n... when != free(x)\nwhen exists\n* return ...;\n")
 	f.Fuzz(func(t *testing.T, src string) {
 		p, err := smpl.ParsePatch("fuzz.cocci", src)
 		if err != nil {

@@ -1,0 +1,197 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureFindings is a fixed finding set exercising every reporter feature:
+// two checks, all three severities, a finding outside any function, repeated
+// checks, metavariable bindings.
+func fixtureFindings() []Finding {
+	return []Finding{
+		{
+			Check: "cuda-malloc-unchecked", Severity: SeverityError,
+			File: "kernel.cu", Line: 12, Col: 5, Func: "launch",
+			Message:  "return value of cudaMalloc(&p, n) is not checked",
+			Rule:     "malloc_unchecked",
+			Bindings: map[string]string{"E": "&p", "n": "n"},
+			FuncHash: FuncKey("launch\x00\x00void launch() {}"), TokOff: 7,
+		},
+		{
+			Check: "acc-parallel-no-data", Severity: SeverityWarning,
+			File: "solver.c", Line: 3, Col: 1, Func: "step",
+			Message:  "acc parallel region without a data clause",
+			Rule:     "acc_no_data",
+			FuncHash: FuncKey("step\x00\x00void step() {}"), TokOff: 0,
+		},
+		{
+			Check: "cuda-malloc-unchecked", Severity: SeverityInfo,
+			File: "solver.c", Line: 40, Col: 9,
+			Message: "top-level residue finding",
+			Rule:    "malloc_unchecked",
+		},
+	}
+}
+
+func TestRankAndGating(t *testing.T) {
+	if Rank(SeverityError) <= Rank(SeverityWarning) || Rank(SeverityWarning) <= Rank(SeverityInfo) {
+		t.Fatal("severity ranks are not ordered")
+	}
+	if Rank("bogus") != 0 {
+		t.Fatal("unknown severity should rank 0")
+	}
+	fs := fixtureFindings()
+	if MaxRank(fs) != Rank(SeverityError) {
+		t.Fatalf("MaxRank = %d", MaxRank(fs))
+	}
+	c := CountBySeverity(fs)
+	if c["error"] != 1 || c["warning"] != 1 || c["info"] != 1 {
+		t.Fatalf("CountBySeverity = %v", c)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, fixtureFindings()); err != nil {
+		t.Fatal(err)
+	}
+	want := "kernel.cu:12:5: error: return value of cudaMalloc(&p, n) is not checked [cuda-malloc-unchecked]\n"
+	if !strings.HasPrefix(buf.String(), want) {
+		t.Fatalf("text output:\n%s\nwant first line:\n%s", buf.String(), want)
+	}
+	if got := strings.Count(buf.String(), "\n"); got != 3 {
+		t.Fatalf("%d lines, want 3", got)
+	}
+}
+
+func TestWriteNDJSONRoundTrip(t *testing.T) {
+	fs := fixtureFindings()
+	var buf bytes.Buffer
+	if err := WriteNDJSON(&buf, fs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(fs) {
+		t.Fatalf("%d NDJSON lines for %d findings", len(lines), len(fs))
+	}
+	for i, l := range lines {
+		var f Finding
+		if err := json.Unmarshal([]byte(l), &f); err != nil {
+			t.Fatalf("line %d: %v", i, err)
+		}
+		if f.Check != fs[i].Check || f.Line != fs[i].Line {
+			t.Fatalf("line %d round-trips to %+v, want %+v", i, f, fs[i])
+		}
+	}
+}
+
+// TestSarifGolden pins the SARIF 2.1.0 surface two ways: the generated
+// document must be byte-identical to testdata/golden.sarif, and the golden
+// must decode through the pinned Sarif* types with DisallowUnknownFields —
+// so neither an accidental new field nor a silently dropped one can ship.
+func TestSarifGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSarif(&buf, "test", fixtureFindings()); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "golden.sarif")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("SARIF output drifted from golden:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(want))
+	dec.DisallowUnknownFields()
+	var log SarifLog
+	if err := dec.Decode(&log); err != nil {
+		t.Fatalf("golden does not decode under DisallowUnknownFields: %v", err)
+	}
+	if log.Version != "2.1.0" {
+		t.Fatalf("version %q", log.Version)
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "gocci" || len(run.Tool.Driver.Rules) != 2 {
+		t.Fatalf("driver %+v", run.Tool.Driver)
+	}
+	for _, r := range run.Results {
+		if r.RuleID != run.Tool.Driver.Rules[r.RuleIndex].ID {
+			t.Fatalf("result %q has ruleIndex %d pointing at %q",
+				r.RuleID, r.RuleIndex, run.Tool.Driver.Rules[r.RuleIndex].ID)
+		}
+	}
+	if lvl := run.Results[0].Level; lvl != "error" {
+		t.Fatalf("first result level %q", lvl)
+	}
+	// info maps to SARIF "note".
+	if lvl := run.Results[2].Level; lvl != "note" {
+		t.Fatalf("info finding level %q, want note", lvl)
+	}
+}
+
+func TestBaselineRoundTripAndFilter(t *testing.T) {
+	fs := fixtureFindings()
+	b := NewBaseline(fs[:2])
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := b.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Len() != 2 {
+		t.Fatalf("Len = %d", b2.Len())
+	}
+	left := b2.Filter(fs)
+	if len(left) != 1 || left[0].Message != "top-level residue finding" {
+		t.Fatalf("Filter left %+v", left)
+	}
+	// A second identical finding in the same function exceeds the baselined
+	// count and must resurface.
+	dup := append(fs[:2:2], fs[0])
+	if left := b2.Filter(dup); len(left) != 1 || left[0].Check != "cuda-malloc-unchecked" {
+		t.Fatalf("duplicate beyond baselined count not reported: %+v", left)
+	}
+}
+
+func TestBaselineSurvivesLineDriftNotContentChange(t *testing.T) {
+	f := fixtureFindings()[0]
+	b := NewBaseline([]Finding{f})
+	// Unrelated drift: file renamed, line numbers moved — key unchanged.
+	g := f
+	g.File, g.Line, g.Col = "moved/kernel.cu", 99, 1
+	if left := b.Filter([]Finding{g}); len(left) != 0 {
+		t.Fatalf("line drift resurfaced the finding: %+v", left)
+	}
+	// The function's own content changed: new identity hash, resurfaces.
+	h := f
+	h.FuncHash = FuncKey("launch\x00\x00void launch() { edited(); }")
+	if left := b.Filter([]Finding{h}); len(left) != 1 {
+		t.Fatal("content change did not resurface the finding")
+	}
+}
+
+func TestSortDeterminism(t *testing.T) {
+	fs := fixtureFindings()
+	rev := []Finding{fs[2], fs[0], fs[1]}
+	Sort(rev)
+	if rev[0].File != "kernel.cu" || rev[1].Line != 3 || rev[2].Line != 40 {
+		t.Fatalf("sort order wrong: %+v", rev)
+	}
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Baseline is the accepted-findings store: a multiset of baseline keys
+// (check id + function identity hash + token offset). Because keys carry no
+// file name or line number, a baselined finding stays suppressed through
+// renames and edits to *other* functions; editing the finding's own function
+// changes its identity hash and resurfaces every finding inside it — exactly
+// the review trigger a baseline should have.
+type Baseline struct {
+	counts map[string]int
+}
+
+// baselineFile is the on-disk JSON shape, keys sorted for stable diffs.
+type baselineFile struct {
+	Version int            `json:"version"`
+	Counts  map[string]int `json:"findings"`
+}
+
+// baselineVersion guards the file format.
+const baselineVersion = 1
+
+// NewBaseline builds a baseline from a finding set (the `--baseline write`
+// workflow).
+func NewBaseline(fs []Finding) *Baseline {
+	b := &Baseline{counts: map[string]int{}}
+	for i := range fs {
+		b.counts[fs[i].BaselineKey()]++
+	}
+	return b
+}
+
+// LoadBaseline reads a baseline file written by Write.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf baselineFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if bf.Version != baselineVersion {
+		return nil, fmt.Errorf("baseline %s: version %d, want %d", path, bf.Version, baselineVersion)
+	}
+	b := &Baseline{counts: bf.Counts}
+	if b.counts == nil {
+		b.counts = map[string]int{}
+	}
+	return b, nil
+}
+
+// Write stores the baseline as sorted, indented JSON.
+func (b *Baseline) Write(path string) error {
+	keys := make([]string, 0, len(b.counts))
+	for k := range b.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ordered := make(map[string]int, len(keys))
+	for _, k := range keys {
+		ordered[k] = b.counts[k]
+	}
+	data, err := json.MarshalIndent(baselineFile{Version: baselineVersion, Counts: ordered}, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Len reports the number of distinct baselined keys.
+func (b *Baseline) Len() int { return len(b.counts) }
+
+// Filter returns the findings not covered by the baseline. Each baselined
+// key suppresses at most its recorded count, so a function that *gains* a
+// second identical finding still reports the new one.
+func (b *Baseline) Filter(fs []Finding) []Finding {
+	budget := make(map[string]int, len(b.counts))
+	for k, n := range b.counts {
+		budget[k] = n
+	}
+	var out []Finding
+	for i := range fs {
+		k := fs[i].BaselineKey()
+		if budget[k] > 0 {
+			budget[k]--
+			continue
+		}
+		out = append(out, fs[i])
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+// Package analysis is gocci's static-analysis layer: the Finding model
+// produced by match-only check rules (SmPL star-lines and `// gocci:check`
+// metadata headers), the reporters that print findings as plain text, NDJSON,
+// or SARIF 2.1.0, and the baseline store that suppresses known findings by
+// function identity instead of line number, so a baseline survives unrelated
+// edits elsewhere in the file. The engine (internal/core) emits findings, the
+// batch layer caches and aggregates them, and the CLI/serve front ends pick a
+// reporter; this package owns only the data model and its serializations.
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Version names the finding-emission semantics (anchor selection, message
+// interpolation, baseline keying). It joins the result-cache fingerprint of
+// any patch containing check rules, so changing how findings are derived
+// invalidates every cached outcome that carries them.
+const Version = "check-v1"
+
+// Severity levels, ordered: Rank("error") > Rank("warning") > Rank("info").
+const (
+	SeverityError   = "error"
+	SeverityWarning = "warning"
+	SeverityInfo    = "info"
+)
+
+// Rank orders severities for gating; unknown strings rank below info.
+func Rank(severity string) int {
+	switch severity {
+	case SeverityError:
+		return 3
+	case SeverityWarning:
+		return 2
+	case SeverityInfo:
+		return 1
+	}
+	return 0
+}
+
+// Finding is one report from a check rule: where, what, and how bad.
+type Finding struct {
+	// Check is the check id from the rule's gocci:check header (or the rule
+	// name for star rules without one).
+	Check string `json:"check"`
+	// Severity is "error", "warning", or "info".
+	Severity string `json:"severity"`
+	// File, Line, Col locate the report anchor: the position metavariable's
+	// binding when the rule declares one, else the first starred token of
+	// the match, else the match's first token. Line and Col are 1-based.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Func names the enclosing function ("" for findings outside any).
+	Func string `json:"func,omitempty"`
+	// Message is the rule's msg with metavariable references interpolated.
+	Message string `json:"message"`
+	// Rule is the SmPL rule that fired.
+	Rule string `json:"rule,omitempty"`
+	// Bindings are the match's bound metavariables (name → source text).
+	Bindings map[string]string `json:"bindings,omitempty"`
+	// FuncHash identifies the enclosing function by content (see FuncKey),
+	// and TokOff is the anchor's token offset within that function — the
+	// position-independent pair the baseline keys on.
+	FuncHash string `json:"func_hash,omitempty"`
+	TokOff   int    `json:"tok_off"`
+}
+
+// FuncKey hashes a function's segment identity (cast.FuncSeg.Identity or
+// cast.Segmentation.ResidueIdentity) into the short stable form findings and
+// baselines carry.
+func FuncKey(identity string) string {
+	sum := sha256.Sum256([]byte(identity))
+	return hex.EncodeToString(sum[:8])
+}
+
+// BaselineKey is the finding's identity for baseline matching: independent
+// of file name and line numbers, so findings survive renames and unrelated
+// line drift, but sensitive to the function's own content.
+func (f *Finding) BaselineKey() string {
+	// All three parts are colon-free (check ids are [A-Za-z0-9._-], the hash
+	// is hex), so the joined form is unambiguous and printable — it doubles
+	// as the SARIF partial fingerprint.
+	return f.Check + ":" + f.FuncHash + ":" + fmt.Sprint(f.TokOff)
+}
+
+// Sort orders findings for deterministic output: by file, line, column,
+// check id, then message.
+func Sort(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := &fs[i], &fs[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}
+
+// Dedupe drops repeated reports of the same defect: same file, position,
+// check, rule, and message. The engine can legitimately revisit one match
+// under several environments (e.g. downstream of a script rule that forked
+// the environment set); the user should still see one finding. Order is
+// preserved.
+func Dedupe(fs []Finding) []Finding {
+	seen := make(map[string]bool, len(fs))
+	out := fs[:0]
+	for i := range fs {
+		f := &fs[i]
+		key := fmt.Sprintf("%s\x00%d\x00%d\x00%s\x00%s\x00%s", f.File, f.Line, f.Col, f.Check, f.Rule, f.Message)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, fs[i])
+	}
+	return out
+}
+
+// MaxRank returns the highest severity rank present (0 when empty).
+func MaxRank(fs []Finding) int {
+	m := 0
+	for i := range fs {
+		if r := Rank(fs[i].Severity); r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// CountBySeverity tallies findings per severity string.
+func CountBySeverity(fs []Finding) map[string]int {
+	out := map[string]int{}
+	for i := range fs {
+		out[fs[i].Severity]++
+	}
+	return out
+}
+
+// WriteText prints findings in compiler style, one per line:
+// file:line:col: severity: message [check]
+func WriteText(w io.Writer, fs []Finding) error {
+	for i := range fs {
+		f := &fs[i]
+		if _, err := fmt.Fprintf(w, "%s:%d:%d: %s: %s [%s]\n",
+			f.File, f.Line, f.Col, f.Severity, f.Message, f.Check); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteNDJSON prints one finding as one JSON object per line — the same
+// shape gocci-serve streams, so CLI and daemon output are byte-comparable.
+func WriteNDJSON(w io.Writer, fs []Finding) error {
+	enc := json.NewEncoder(w)
+	for i := range fs {
+		if err := enc.Encode(&fs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

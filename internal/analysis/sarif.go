@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// SARIF 2.1.0 output. The types below are the *complete* set of fields gocci
+// emits — sarif_test.go re-decodes generated output through them with
+// DisallowUnknownFields, so any new field must land here (and in the golden
+// file) deliberately, pinning the schema surface.
+
+// SarifLog is the document root.
+type SarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []SarifRun `json:"runs"`
+}
+
+// SarifRun is one analysis run: the tool description and its results.
+type SarifRun struct {
+	Tool    SarifTool     `json:"tool"`
+	Results []SarifResult `json:"results"`
+}
+
+// SarifTool wraps the driver description.
+type SarifTool struct {
+	Driver SarifDriver `json:"driver"`
+}
+
+// SarifDriver names the producing tool and declares the rules its results
+// reference by index.
+type SarifDriver struct {
+	Name           string      `json:"name"`
+	Version        string      `json:"version,omitempty"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []SarifRule `json:"rules"`
+}
+
+// SarifRule is one reportingDescriptor: a check id and its default level.
+type SarifRule struct {
+	ID                   string        `json:"id"`
+	ShortDescription     *SarifMessage `json:"shortDescription,omitempty"`
+	DefaultConfiguration *SarifConfig  `json:"defaultConfiguration,omitempty"`
+}
+
+// SarifConfig carries a rule's default severity level.
+type SarifConfig struct {
+	Level string `json:"level"`
+}
+
+// SarifMessage is SARIF's text wrapper.
+type SarifMessage struct {
+	Text string `json:"text"`
+}
+
+// SarifResult is one finding.
+type SarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   SarifMessage    `json:"message"`
+	Locations []SarifLocation `json:"locations"`
+	// Fingerprints carries the baseline key, so SARIF consumers can match
+	// results across runs the same way gocci's own baseline does.
+	Fingerprints map[string]string `json:"partialFingerprints,omitempty"`
+}
+
+// SarifLocation is a physical location plus the enclosing function.
+type SarifLocation struct {
+	PhysicalLocation SarifPhysicalLocation  `json:"physicalLocation"`
+	LogicalLocations []SarifLogicalLocation `json:"logicalLocations,omitempty"`
+}
+
+// SarifPhysicalLocation is file + region.
+type SarifPhysicalLocation struct {
+	ArtifactLocation SarifArtifactLocation `json:"artifactLocation"`
+	Region           SarifRegion           `json:"region"`
+}
+
+// SarifArtifactLocation names the file.
+type SarifArtifactLocation struct {
+	URI string `json:"uri"`
+}
+
+// SarifRegion is the 1-based start position.
+type SarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// SarifLogicalLocation names the enclosing function.
+type SarifLogicalLocation struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+}
+
+// sarifLevel maps gocci severities onto SARIF levels (info → note).
+func sarifLevel(severity string) string {
+	switch severity {
+	case SeverityError:
+		return "error"
+	case SeverityWarning:
+		return "warning"
+	default:
+		return "note"
+	}
+}
+
+// BuildSarif assembles the SARIF log for a finding set. Rules are collected
+// from the findings (sorted by id); results reference them by index.
+func BuildSarif(version string, fs []Finding) *SarifLog {
+	byID := map[string]*SarifRule{}
+	var ids []string
+	for i := range fs {
+		f := &fs[i]
+		if _, ok := byID[f.Check]; !ok {
+			byID[f.Check] = &SarifRule{
+				ID:                   f.Check,
+				DefaultConfiguration: &SarifConfig{Level: sarifLevel(f.Severity)},
+			}
+			ids = append(ids, f.Check)
+		}
+	}
+	sort.Strings(ids)
+	rules := make([]SarifRule, len(ids))
+	index := map[string]int{}
+	for i, id := range ids {
+		rules[i] = *byID[id]
+		index[id] = i
+	}
+	results := make([]SarifResult, 0, len(fs))
+	for i := range fs {
+		f := &fs[i]
+		loc := SarifLocation{
+			PhysicalLocation: SarifPhysicalLocation{
+				ArtifactLocation: SarifArtifactLocation{URI: f.File},
+				Region:           SarifRegion{StartLine: f.Line, StartColumn: f.Col},
+			},
+		}
+		if f.Func != "" {
+			loc.LogicalLocations = []SarifLogicalLocation{{Name: f.Func, Kind: "function"}}
+		}
+		res := SarifResult{
+			RuleID:    f.Check,
+			RuleIndex: index[f.Check],
+			Level:     sarifLevel(f.Severity),
+			Message:   SarifMessage{Text: f.Message},
+			Locations: []SarifLocation{loc},
+		}
+		if f.FuncHash != "" {
+			res.Fingerprints = map[string]string{"gocciBaseline/v1": f.BaselineKey()}
+		}
+		results = append(results, res)
+	}
+	return &SarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []SarifRun{{
+			Tool: SarifTool{Driver: SarifDriver{
+				Name:           "gocci",
+				Version:        version,
+				InformationURI: "https://github.com/coccinelle/coccinelle",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+}
+
+// WriteSarif renders the findings as an indented SARIF 2.1.0 document.
+func WriteSarif(w io.Writer, version string, fs []Finding) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BuildSarif(version, fs))
+}

@@ -25,6 +25,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/analysis"
 	"repro/internal/cache"
 	"repro/internal/cast"
 	"repro/internal/core"
@@ -109,13 +110,18 @@ func fingerprint(o core.Options) string {
 
 // keyFingerprint extends the engine fingerprint with every result-affecting
 // input that lives outside the patch text: verify mode (with the checker's
-// version, so changing the checks invalidates cached verify decisions) and
-// the declared versions of native Go script handlers (so a re-versioned
-// handler invalidates every outcome it helped produce).
-func keyFingerprint(o core.Options, verifyOn bool, scriptVers map[string]string) string {
+// version, so changing the checks invalidates cached verify decisions), the
+// finding-emission version for patches that carry check rules (so changing
+// how findings are derived invalidates cached findings), and the declared
+// versions of native Go script handlers (so a re-versioned handler
+// invalidates every outcome it helped produce).
+func keyFingerprint(o core.Options, verifyOn, hasChecks bool, scriptVers map[string]string) string {
 	fp := fingerprint(o)
 	if verifyOn {
 		fp += ",verify=" + verify.Version
+	}
+	if hasChecks {
+		fp += ",check=" + analysis.Version
 	}
 	if len(scriptVers) > 0 {
 		rules := make([]string, 0, len(scriptVers))
@@ -163,6 +169,38 @@ func loadWarnings(ws []cache.Warning) []verify.Warning {
 	return out
 }
 
+// storeFindings converts check-rule findings to their file-level cache form.
+func storeFindings(fs []analysis.Finding) []cache.Finding {
+	if len(fs) == 0 {
+		return nil
+	}
+	out := make([]cache.Finding, len(fs))
+	for i, f := range fs {
+		out[i] = cache.Finding{
+			Check: f.Check, Severity: f.Severity, File: f.File, Line: f.Line,
+			Col: f.Col, Func: f.Func, Message: f.Message, Rule: f.Rule,
+			Bindings: f.Bindings, FuncHash: f.FuncHash, TokOff: f.TokOff,
+		}
+	}
+	return out
+}
+
+// loadFindings converts cached file-level findings back to analysis form.
+func loadFindings(fs []cache.Finding) []analysis.Finding {
+	if len(fs) == 0 {
+		return nil
+	}
+	out := make([]analysis.Finding, len(fs))
+	for i, f := range fs {
+		out[i] = analysis.Finding{
+			Check: f.Check, Severity: f.Severity, File: f.File, Line: f.Line,
+			Col: f.Col, Func: f.Func, Message: f.Message, Rule: f.Rule,
+			Bindings: f.Bindings, FuncHash: f.FuncHash, TokOff: f.TokOff,
+		}
+	}
+	return out
+}
+
 // FileResult is the outcome for one input file.
 type FileResult struct {
 	// Index is the file's position in the input slice; results are
@@ -205,6 +243,13 @@ type FileResult struct {
 	// still records what matched, but Output equals the input and Diff is
 	// empty.
 	Demoted bool
+	// Findings are the check-rule reports for this file (match-only star
+	// rules and gocci:check rules; empty for pure transform patches).
+	Findings []analysis.Finding
+	// Parsed reports that this run actually parsed the file. False for
+	// prefilter skips and cache replays — the warm-sweep signal `gocci
+	// --check` sums into its "parsed: N" line.
+	Parsed bool
 	// Err is the per-file failure (parse error, script error); other files
 	// in the batch are unaffected.
 	Err error
@@ -239,6 +284,11 @@ type Stats struct {
 	// totals the verifier findings across all files.
 	Demoted  int
 	Warnings int
+	// Findings totals the check-rule reports across all files.
+	Findings int
+	// Parsed counts files this run actually parsed (as opposed to skipping
+	// via the prefilter or replaying from a cache).
+	Parsed int
 }
 
 // Runner applies one compiled patch across file sets.
@@ -353,7 +403,7 @@ func (r *Runner) resultCacheable() bool {
 func (r *Runner) key() string {
 	r.keyOnce.Do(func() {
 		r.resultKey = cache.ResultKey(r.patchSrc,
-			keyFingerprint(r.opts.Engine, r.opts.Verify, r.scriptVers))
+			keyFingerprint(r.opts.Engine, r.opts.Verify, r.compiled.Patch.HasChecks(), r.scriptVers))
 	})
 	return r.resultKey
 }
@@ -520,6 +570,7 @@ func record(fr FileResult, input string) *cache.Record {
 		EnvsTruncated: fr.EnvsTruncated,
 		Warnings:      storeWarnings(fr.Warnings),
 		Demoted:       fr.Demoted,
+		Findings:      storeFindings(fr.Findings),
 	}
 	if fr.Output != input {
 		rec.Changed = true
@@ -538,6 +589,7 @@ func replay(idx int, f core.SourceFile, rec *cache.Record) FileResult {
 		EnvsTruncated: rec.EnvsTruncated,
 		Warnings:      loadWarnings(rec.Warnings),
 		Demoted:       rec.Demoted,
+		Findings:      loadFindings(rec.Findings),
 	}
 	if fr.MatchCount == nil {
 		fr.MatchCount = map[string]int{}
@@ -593,6 +645,10 @@ func (r *Runner) collect(run func(func(FileResult) bool), fn func(FileResult) er
 				st.Demoted++
 			}
 			st.Warnings += len(fr.Warnings)
+			st.Findings += len(fr.Findings)
+			if fr.Parsed {
+				st.Parsed++
+			}
 		}
 		if fn != nil {
 			if err := fn(fr); err != nil {
@@ -635,6 +691,8 @@ func (r *Runner) applyFile(eng *core.Engine, tk *obs.Track, f core.SourceFile, i
 			MatchCount:   out.MatchCount,
 			FuncsMatched: out.Matched,
 			FuncsCached:  out.Cached,
+			Findings:     out.Findings,
+			Parsed:       true,
 		}
 	}
 	return applyOneParsed(eng, f, parsed, idx)
@@ -668,5 +726,7 @@ func fileResult(idx int, f core.SourceFile, res *core.Result) FileResult {
 		Diff:          res.Diffs[f.Name],
 		MatchCount:    res.MatchCount,
 		EnvsTruncated: res.EnvsTruncated,
+		Findings:      res.Findings,
+		Parsed:        true,
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/analysis"
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/cparse"
@@ -166,7 +167,7 @@ func (c *Campaign) keys() {
 		}
 		for _, cp := range c.patches {
 			cp.key = cache.ResultKey(cp.patch.Src,
-				keyFingerprint(cp.engOpts, c.opts.Verify, c.scriptVers))
+				keyFingerprint(cp.engOpts, c.opts.Verify, cp.patch.HasChecks(), c.scriptVers))
 		}
 	})
 }
@@ -199,6 +200,10 @@ type PatchOutcome struct {
 	// MatchCount still records what matched, but Changed is false and later
 	// members saw the text this patch received.
 	Demoted bool
+	// Findings are this patch's check-rule reports for this file. Positions
+	// refer to the text this member received (the input for check-only
+	// campaigns, which never transform).
+	Findings []analysis.Finding
 }
 
 // Matches is the total number of rule matches by this patch in the file.
@@ -231,6 +236,10 @@ type CampaignFileResult struct {
 	// Patches holds one outcome per member patch, in campaign order. On a
 	// per-file error it covers the members up to the failing one.
 	Patches []PatchOutcome
+	// Parsed reports that the sweep actually parsed the file's text (at
+	// least once; transforms can force re-parses). False when every member
+	// replayed, skipped, or was ruled out without parsing.
+	Parsed bool
 	// Err is the per-file failure; other files still complete. A parse
 	// failure aborts the file's remaining patches (they could not parse it
 	// either).
@@ -239,6 +248,16 @@ type CampaignFileResult struct {
 
 // Changed reports whether any patch modified the file.
 func (r CampaignFileResult) Changed() bool { return r.Diff != "" }
+
+// Findings gathers every member patch's check-rule reports for the file, in
+// campaign order.
+func (r CampaignFileResult) Findings() []analysis.Finding {
+	var out []analysis.Finding
+	for _, o := range r.Patches {
+		out = append(out, o.Findings...)
+	}
+	return out
+}
 
 // PatchStats aggregates one member patch over a completed run.
 type PatchStats struct {
@@ -256,6 +275,8 @@ type PatchStats struct {
 	// Warnings totals its verifier findings across all files.
 	Demoted  int
 	Warnings int
+	// Findings totals this patch's check-rule reports across all files.
+	Findings int
 }
 
 // CampaignStats aggregates a completed campaign run.
@@ -263,6 +284,7 @@ type CampaignStats struct {
 	Files    int // files processed
 	Changed  int // files where the final output differs from the input
 	Errors   int // files that failed
+	Parsed   int // files the sweep actually parsed (vs replayed/skipped)
 	PerPatch []PatchStats
 }
 
@@ -387,6 +409,9 @@ func (c *Campaign) collectC(run func(func(CampaignFileResult) bool), fn func(Cam
 			return false
 		}
 		st.Files++
+		if fr.Parsed {
+			st.Parsed++
+		}
 		switch {
 		case fr.Err != nil:
 			st.Errors++
@@ -416,6 +441,7 @@ func (c *Campaign) collectC(run func(func(CampaignFileResult) bool), fn func(Cam
 				ps.Demoted++
 			}
 			ps.Warnings += len(o.Warnings)
+			ps.Findings += len(o.Findings)
 		}
 		if fn != nil {
 			if err := fn(fr); err != nil {

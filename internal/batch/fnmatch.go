@@ -21,6 +21,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/analysis"
 	"repro/internal/cache"
 	"repro/internal/cast"
 	"repro/internal/core"
@@ -86,6 +87,69 @@ type fnOutcome struct {
 	Changed    bool
 	Matched    int // function segments matched fresh
 	Cached     int // function segments replayed from the cache
+	// Findings are the check-rule reports across all segments: fresh ones
+	// carry current positions, replayed ones are re-anchored to the current
+	// parse from their segment-relative token offsets.
+	Findings []analysis.Finding
+}
+
+// storeFnFindings strips a segment's findings to their position-independent
+// cache form: everything re-derivable from the live parse at replay time
+// (file, line, column, enclosing function name and hash) is dropped, keeping
+// only the anchor's segment-relative token offset.
+func storeFnFindings(fs []analysis.Finding) []cache.FnFinding {
+	if len(fs) == 0 {
+		return nil
+	}
+	out := make([]cache.FnFinding, len(fs))
+	for i, f := range fs {
+		out[i] = cache.FnFinding{
+			Check: f.Check, Severity: f.Severity, Message: f.Message,
+			Rule: f.Rule, Bindings: f.Bindings, TokOff: f.TokOff,
+		}
+	}
+	return out
+}
+
+// loadFnFindings re-anchors a replayed segment's findings against the
+// current parse: slot i < n is function i (anchor = segment start + offset),
+// slot n is the residue (anchor = ResidueToken(offset)). Line, column,
+// function name, and function hash are recomputed, so a record replayed
+// after unrelated parts of the file moved — or, for the residue's token-only
+// key, after whitespace between functions changed — reports exactly what a
+// fresh run over the current text would.
+func loadFnFindings(fs []cache.FnFinding, name string, segs *cast.Segmentation, i, n int) []analysis.Finding {
+	if len(fs) == 0 {
+		return nil
+	}
+	toks := segs.File.Toks.Tokens
+	out := make([]analysis.Finding, len(fs))
+	for k, f := range fs {
+		af := analysis.Finding{
+			Check: f.Check, Severity: f.Severity, File: name, Message: f.Message,
+			Rule: f.Rule, Bindings: f.Bindings, TokOff: f.TokOff,
+		}
+		var anchor int
+		if i < n {
+			seg := &segs.Funcs[i]
+			anchor = seg.First + f.TokOff
+			if anchor > seg.Last {
+				anchor = seg.Last
+			}
+			af.Func = seg.Name
+			af.FuncHash = analysis.FuncKey(seg.Identity())
+		} else {
+			anchor = segs.ResidueToken(f.TokOff)
+			af.FuncHash = analysis.FuncKey(segs.ResidueIdentity())
+		}
+		if anchor < 0 || anchor >= len(toks) {
+			anchor = 0
+		}
+		pos := toks[anchor].Pos
+		af.Line, af.Col = pos.Line, pos.Col
+		out[k] = af
+	}
+	return out
 }
 
 // fnHash keys a function segment's cache entry.
@@ -312,7 +376,7 @@ func (r *fnRunner) apply(eng *core.Engine, tk *obs.Track, name, src string, pars
 				continue
 			}
 			sr := states[i].sr
-			rec := &cache.FuncRecord{Matches: sr.Matches, Changed: sr.Changed}
+			rec := &cache.FuncRecord{Matches: sr.Matches, Changed: sr.Changed, Findings: storeFnFindings(sr.Findings)}
 			if i < n {
 				if sr.Changed {
 					rec.Output = sr.Text
@@ -324,7 +388,7 @@ func (r *fnRunner) apply(eng *core.Engine, tk *obs.Track, name, src string, pars
 				}
 				store.PutFuncResult(key, resHash(segs), rec)
 				if sr.Edits.Empty() {
-					store.PutFuncResult(key, resTokHash(segs), &cache.FuncRecord{Matches: sr.Matches})
+					store.PutFuncResult(key, resTokHash(segs), &cache.FuncRecord{Matches: sr.Matches, Findings: rec.Findings})
 				}
 			}
 		}
@@ -337,12 +401,26 @@ func (r *fnRunner) apply(eng *core.Engine, tk *obs.Track, name, src string, pars
 	if total > 0 {
 		mc[r.ruleName] = total
 	}
+	// Gather findings in segment order; replayed segments re-anchor theirs to
+	// the current parse. Deduped like the file-level path (core.RunParsed), so
+	// both paths report identical findings.
+	var findings []analysis.Finding
+	for i := range states {
+		switch {
+		case states[i].rec != nil:
+			findings = append(findings, loadFnFindings(states[i].rec.Findings, name, segs, i, n)...)
+		case states[i].sr != nil:
+			findings = append(findings, states[i].sr.Findings...)
+		}
+	}
+	findings = analysis.Dedupe(findings)
 	return fnOutcome{
 		Output:     output,
 		MatchCount: mc,
 		Changed:    output != src,
 		Matched:    freshFns,
 		Cached:     cachedFns,
+		Findings:   findings,
 	}, true
 }
 

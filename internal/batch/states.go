@@ -209,6 +209,7 @@ func (c *Campaign) processState(engines []*core.Engine, popts cparse.Options, tk
 				o.EnvsTruncated = rec.EnvsTruncated
 				o.Warnings = loadWarnings(rec.Warnings)
 				o.Demoted = rec.Demoted
+				o.Findings = loadFindings(rec.Findings)
 				if rec.Changed {
 					o.Changed = true
 					cur, curLoaded, curIsInput = rec.Output, true, false
@@ -245,6 +246,7 @@ func (c *Campaign) processState(engines []*core.Engine, popts cparse.Options, tk
 			sp := tk.Start(obs.StageParse).File(st.Name)
 			cf, err := cparse.Parse(st.Name, cur, popts)
 			sp.End()
+			fr.Parsed = true
 			if err != nil {
 				// No later patch could parse the file either; report once.
 				return fail(fmt.Errorf("parsing %s: %w", st.Name, err))
@@ -265,7 +267,8 @@ func (c *Campaign) processState(engines []*core.Engine, popts cparse.Options, tk
 				o.Changed = out.Changed
 				o.FuncsMatched = out.Matched
 				o.FuncsCached = out.Cached
-				rec := &cache.Record{MatchCount: out.MatchCount}
+				o.Findings = out.Findings
+				rec := &cache.Record{MatchCount: out.MatchCount, Findings: storeFindings(out.Findings)}
 				next := out.Output
 				if out.Changed {
 					rec.Changed = true
@@ -291,7 +294,8 @@ func (c *Campaign) processState(engines []*core.Engine, popts cparse.Options, tk
 		o.MatchCount = res.MatchCount
 		o.EnvsTruncated = res.EnvsTruncated
 		o.Changed = out != cur
-		rec := &cache.Record{MatchCount: res.MatchCount, EnvsTruncated: res.EnvsTruncated}
+		o.Findings = res.Findings
+		rec := &cache.Record{MatchCount: res.MatchCount, EnvsTruncated: res.EnvsTruncated, Findings: storeFindings(res.Findings)}
 		if o.Changed {
 			rec.Changed = true
 			rec.Output = out

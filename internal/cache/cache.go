@@ -198,6 +198,10 @@ type Record struct {
 	// them.
 	Warnings []Warning `json:"warnings,omitempty"`
 	Demoted  bool      `json:"demoted,omitempty"`
+	// Findings are the check-rule reports the run emitted for this file.
+	// Positions are absolute: a file-level record only ever replays against
+	// byte-identical text, so they cannot go stale.
+	Findings []Finding `json:"findings,omitempty"`
 }
 
 // Warning is the stored form of one post-transform verifier finding (the
@@ -208,6 +212,38 @@ type Warning struct {
 	Func    string `json:"func,omitempty"`
 	Message string `json:"message"`
 	Unsafe  bool   `json:"unsafe,omitempty"`
+}
+
+// Finding is the stored form of one check-rule report (the wire mirror of
+// analysis.Finding, kept here like Warning so the cache stays free of the
+// analysis layer's dependencies).
+type Finding struct {
+	Check    string            `json:"check"`
+	Severity string            `json:"severity"`
+	File     string            `json:"file"`
+	Line     int               `json:"line"`
+	Col      int               `json:"col"`
+	Func     string            `json:"func,omitempty"`
+	Message  string            `json:"message"`
+	Rule     string            `json:"rule,omitempty"`
+	Bindings map[string]string `json:"bindings,omitempty"`
+	FuncHash string            `json:"func_hash,omitempty"`
+	TokOff   int               `json:"tok_off"`
+}
+
+// FnFinding is the position-independent stored form of one check-rule report
+// inside a function-granular record: only what cannot be re-derived from the
+// live parse survives. File, Line, Col, Func, and FuncHash are reconstructed
+// at replay from the current segmentation and the anchor's segment-relative
+// token offset, so the record — like the rest of FuncRecord — stays valid
+// when the segment moves inside its file.
+type FnFinding struct {
+	Check    string            `json:"check"`
+	Severity string            `json:"severity"`
+	Message  string            `json:"message"`
+	Rule     string            `json:"rule,omitempty"`
+	Bindings map[string]string `json:"bindings,omitempty"`
+	TokOff   int               `json:"tok_off"`
 }
 
 // Result returns the cached outcome of applying (key) to a file.
@@ -252,6 +288,9 @@ type FuncRecord struct {
 	Gaps []string `json:"gaps,omitempty"`
 	// Sum is the content hash of Output (or of the joined Gaps).
 	Sum string `json:"sum,omitempty"`
+	// Findings are the check-rule reports anchored inside the segment, in
+	// position-independent form (see FnFinding).
+	Findings []FnFinding `json:"findings,omitempty"`
 }
 
 // payload is the checksummed content of a changed record.

@@ -198,3 +198,31 @@ func (s *Segmentation) ResidueWindow() func(first, last int) bool {
 		return true
 	}
 }
+
+// ResidueOffset converts an absolute token index lying outside every
+// function extent into its residue-relative offset: the count of residue
+// tokens preceding it. The offset only depends on the residue's own content
+// (function token counts are excluded), so it stays stable while functions
+// above the token grow or shrink — the property the analysis baseline and
+// the per-function finding cache key on.
+func (s *Segmentation) ResidueOffset(ti int) int {
+	off := ti
+	for i := range s.Funcs {
+		if s.Funcs[i].Last < ti {
+			off -= s.Funcs[i].Last - s.Funcs[i].First + 1
+		}
+	}
+	return off
+}
+
+// ResidueToken is the inverse of ResidueOffset: it maps a residue-relative
+// offset back to the absolute token index under this segmentation.
+func (s *Segmentation) ResidueToken(off int) int {
+	ti := off
+	for i := range s.Funcs {
+		if s.Funcs[i].First <= ti {
+			ti += s.Funcs[i].Last - s.Funcs[i].First + 1
+		}
+	}
+	return ti
+}

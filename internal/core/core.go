@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 
+	"repro/internal/analysis"
 	"repro/internal/cast"
 	"repro/internal/cfg"
 	"repro/internal/cparse"
@@ -77,6 +78,9 @@ type Result struct {
 	// and further matches were dropped: the outputs are valid but possibly
 	// incomplete, and the caller should rerun with a larger cap.
 	EnvsTruncated bool
+	// Findings are the reports emitted by match-only check rules (star-line
+	// bodies or gocci:check headers), deduplicated, in emission order.
+	Findings []analysis.Finding
 }
 
 // Changed lists the names of files whose output differs from the input.
@@ -164,6 +168,22 @@ type fileState struct {
 	// cache the CTL verifier rebuilt the graph per match — O(matches ×
 	// function size) on match-dense files (BenchmarkCFGCache).
 	cfgs map[*cast.FuncDef]*cfg.Graph
+	// seg caches the file's function segmentation for finding identity;
+	// built on the first check-rule match, invalidated with the parse.
+	seg     *cast.Segmentation
+	segDone bool
+}
+
+// segmentation lazily segments the current parse (nil for files without
+// function definitions).
+func (st *fileState) segmentation() *cast.Segmentation {
+	if !st.segDone {
+		sp := st.trace.Start(obs.StageSegment).File(st.name)
+		st.seg = cast.SegmentFile(st.file)
+		sp.End()
+		st.segDone = true
+	}
+	return st.seg
 }
 
 // cfg returns the cached control-flow graph for a function of this file's
@@ -285,6 +305,7 @@ func (e *Engine) RunParsed(files []ParsedFile) (*Result, error) {
 	}
 	rsp.End()
 	res.EnvCount = len(envs)
+	res.Findings = analysis.Dedupe(res.Findings)
 	return res, nil
 }
 
@@ -384,6 +405,14 @@ func (e *Engine) runMatch(rule *smpl.Rule, envs []match.Env, states []*fileState
 	preMatches := res.MatchCount[rule.Name]
 	msp := e.trace.Start(obs.StageMatch).Rule(rule.Name)
 	defer func() { msp.Matches(res.MatchCount[rule.Name] - preMatches).End() }()
+	isCheck := rule.IsCheck()
+	preFindings := len(res.Findings)
+	if isCheck {
+		defer func() {
+			csp := e.trace.Start(obs.StageCheck).Rule(rule.Name)
+			csp.Matches(len(res.Findings) - preFindings).End()
+		}()
+	}
 	cr := e.compiled.rule(rule)
 	metas := cr.metas
 	// Names this rule inherits: local -> qualified key.
@@ -469,6 +498,10 @@ envLoop:
 					}
 					st.dirty = true
 				}
+				if isCheck {
+					res.Findings = append(res.Findings,
+						makeFinding(rule, &mt, localEnv, st.file, st.segmentation(), st.src))
+				}
 				envMatched = true
 				anyMatch = true
 				res.MatchCount[rule.Name]++
@@ -536,6 +569,7 @@ func (e *Engine) reparse(states []*fileState) error {
 		st.ed = transform.NewEditSet(cf.Toks)
 		st.dirty = false
 		st.cfgs = nil // graphs describe the old tree
+		st.seg, st.segDone = nil, false
 	}
 	return nil
 }

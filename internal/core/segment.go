@@ -13,6 +13,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/analysis"
 	"repro/internal/cast"
 	"repro/internal/match"
 	"repro/internal/obs"
@@ -67,7 +68,15 @@ func FunctionLocal(c *Compiled, opts Options) bool {
 		return false
 	}
 	for _, md := range mr.Metas {
-		if md.Kind == cast.MetaFreshIdentKind || md.Kind == cast.MetaPosKind {
+		if md.Kind == cast.MetaFreshIdentKind {
+			return false
+		}
+		// Position bindings embed absolute line numbers, so they are only
+		// admissible when nothing position-dependent leaves the segment run.
+		// A check rule qualifies: its findings store function-relative token
+		// offsets and their line/col are re-derived from the live parse on
+		// replay, and a single-rule patch exports no environments.
+		if md.Kind == cast.MetaPosKind && !mr.IsCheck() {
 			return false
 		}
 	}
@@ -145,6 +154,11 @@ type SegmentResult struct {
 	// Edits holds the segment's raw edit set, for callers that verify a
 	// cold run by merging per-segment edits and rendering the whole file.
 	Edits *transform.EditSet
+	// Findings are the check-rule reports anchored inside this segment.
+	// Line/Col are absolute for the current parse; TokOff and FuncHash are
+	// segment-relative, so a cached finding can be re-anchored after
+	// unrelated parts of the file moved.
+	Findings []analysis.Finding
 }
 
 // RunSegment matches the engine's single function-local rule inside one
@@ -191,6 +205,7 @@ func (e *Engine) RunSegment(job SegmentJob) (*SegmentResult, error) {
 		} else {
 			m.Window = job.Segs.ResidueWindow()
 		}
+		isCheck := rule.IsCheck()
 		for _, mt := range m.FindAll() {
 			if e.opts.UseCTL && !cfgPrimary && !e.verifyCTL(st, rule, &mt) {
 				continue
@@ -207,7 +222,15 @@ func (e *Engine) RunSegment(job SegmentJob) (*SegmentResult, error) {
 				}
 				st.dirty = true
 			}
+			if isCheck {
+				sr.Findings = append(sr.Findings,
+					makeFinding(rule, &mt, mt.Env, job.File, job.Segs, job.Src))
+			}
 			sr.Matches++
+		}
+		if isCheck && len(sr.Findings) > 0 {
+			csp := job.Trace.Start(obs.StageCheck).File(job.Name).Rule(rule.Name)
+			csp.Matches(len(sr.Findings)).End()
 		}
 	}
 

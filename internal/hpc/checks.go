@@ -1,0 +1,85 @@
+// The hpc-checks campaign: match-only anti-pattern detectors for the same
+// HPC code the transformation campaigns rewrite. Every rule is a star-line
+// check (`gocci --check --campaign hpc-checks`), so the campaign never
+// touches a file — it reports findings with stable baseline keys and rides
+// the same prefilter, worker pool, and per-function result cache as the
+// rewriting campaigns.
+
+package hpc
+
+// cudaAPIChecks flags CUDA runtime calls whose use is correct C but a known
+// performance or reliability trap: an ignored cudaMalloc status, and the
+// whole-device synchronize where a stream- or event-scoped wait would do.
+const cudaAPIChecks = `// gocci:check id=cuda-malloc-unchecked severity=error msg="cudaMalloc return code is ignored"
+@cudamallocunchecked@
+expression list args;
+@@
+* cudaMalloc(args);
+
+// gocci:check id=cuda-sync-device severity=warning msg="cudaDeviceSynchronize stalls every stream; prefer cudaStreamSynchronize or events"
+@cudasyncdevice@
+@@
+* cudaDeviceSynchronize();
+`
+
+// cudaLaunchChecks flags the four-argument launch form that names a shared
+// memory size but then pins the kernel to the default stream: code that
+// bothers with the long form almost always meant to pass a real stream.
+const cudaLaunchChecks = `// gocci:check id=cuda-launch-default-stream severity=warning msg="kernel k launched with explicit shared memory s but the default stream"
+@cudalaunchdefaultstream@
+identifier k;
+expression b, t, s;
+expression list el;
+@@
+* k<<<b, t, s, 0>>>(el)
+`
+
+// accPragmaChecks flags OpenACC directives that compile clean but leave the
+// important decisions implicit: a parallel loop with no data or tuning
+// clauses, and the kernels construct that defers parallelization entirely
+// to the compiler. Both are exact-directive matches — adding any clause
+// makes the directive a different pragma line and the finding disappears.
+const accPragmaChecks = `// gocci:check id=acc-parallel-no-clauses severity=warning msg="bare acc parallel loop: no data or tuning clauses; data movement is implicit"
+@accparallelbare@
+@@
+* #pragma acc parallel loop
+
+// gocci:check id=acc-kernels severity=info msg="acc kernels leaves parallelization to the compiler; prefer acc parallel with explicit clauses"
+@acckernels@
+@@
+* #pragma acc kernels
+`
+
+// hostLeakChecks is the classic Coccinelle leak shape as a check: a malloc
+// assignment from which some path (`when exists`) reaches a return without
+// passing the matching free.
+const hostLeakChecks = `// gocci:check id=host-alloc-no-free severity=warning msg="p allocated here but not freed on some path to return"
+@hostallocnofree@
+expression p;
+expression sz;
+@@
+* p = malloc(sz);
+... when != free(p)
+when exists
+* return ...;
+`
+
+// checksCampaign packages the detectors. The dialect is the superset the
+// members need (CUDA implies C++), so one sweep covers .c, .cpp, and .cu
+// sources alike.
+func checksCampaign() *Campaign {
+	return &Campaign{
+		Name:      "hpc-checks",
+		Title:     "match-only HPC anti-pattern checks (CUDA API misuse, bare ACC directives, host leaks)",
+		Version:   "v1",
+		CPlusPlus: true,
+		Std:       17,
+		CUDA:      true,
+		members: []member{
+			{name: "cuda-api-checks.cocci", text: cudaAPIChecks},
+			{name: "cuda-launch-checks.cocci", text: cudaLaunchChecks},
+			{name: "acc-pragma-checks.cocci", text: accPragmaChecks},
+			{name: "host-leak-checks.cocci", text: hostLeakChecks},
+		},
+	}
+}

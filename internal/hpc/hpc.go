@@ -115,7 +115,7 @@ func (c *Campaign) Build(base sempatch.Options) (*sempatch.Campaign, error) {
 
 // Campaigns returns the registry in stable order.
 func Campaigns() []*Campaign {
-	return []*Campaign{acc2omp(false), acc2omp(true), hipifyCampaign()}
+	return []*Campaign{acc2omp(false), acc2omp(true), hipifyCampaign(), checksCampaign()}
 }
 
 // ByName looks a shipped campaign up.

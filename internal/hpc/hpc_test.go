@@ -35,7 +35,7 @@ func applyOne(t *testing.T, c *Campaign, opts sempatch.Options, name, src string
 }
 
 func TestRegistry(t *testing.T) {
-	want := []string{"acc2omp", "acc2omp-offload", "hipify"}
+	want := []string{"acc2omp", "acc2omp-offload", "hipify", "hpc-checks"}
 	got := Campaigns()
 	if len(got) != len(want) {
 		t.Fatalf("want %d campaigns, got %d", len(want), len(got))

@@ -6,6 +6,7 @@ package hpc
 // the original.
 
 import (
+	"reflect"
 	"testing"
 
 	sempatch "repro"
@@ -36,11 +37,27 @@ func TestCampaignPatchesRenderRoundTrip(t *testing.T) {
 			}
 
 			// Semantic equivalence on a generated fixture: the campaign
-			// rebuilt from rendered member texts must produce the same bytes.
+			// rebuilt from rendered member texts must produce the same bytes
+			// — or, for the match-only checks campaign, the same findings.
 			var name, src string
 			switch c.Name {
 			case "hipify":
 				name, src = "rt.cu", codegen.CUDA(codegen.Config{Funcs: 3, StmtsPerFunc: 2, Seed: 20250326})
+			case "hpc-checks":
+				origF := checkFindings(t, c, "rt.cu", checkSrc)
+				renF := checkFindings(t, &rendered, "rt.cu", checkSrc)
+				if len(origF) == 0 {
+					t.Fatalf("%s: fixture exercises nothing", c.Name)
+				}
+				if len(renF) != len(origF) {
+					t.Fatalf("rendered campaign diverges: %d findings, want %d", len(renF), len(origF))
+				}
+				for i := range origF {
+					if !reflect.DeepEqual(renF[i], origF[i]) {
+						t.Errorf("finding %d diverges:\noriginal: %+v\nrendered: %+v", i, origF[i], renF[i])
+					}
+				}
+				return
 			default:
 				name, src = "rt.c", codegen.OpenACC(codegen.Config{Funcs: 3, StmtsPerFunc: 2, Seed: 20250326})
 			}

@@ -153,6 +153,20 @@ func plusInsertions(r *smpl.Rule, metas *smpl.MetaTable, tainted map[string]bool
 	return atoms, unknown
 }
 
+// UnprunableRules returns the names of match rules whose required-atom set
+// is empty: the prefilter must treat them as always-maybe, so no file can
+// ever be skipped on their account. `gocci vet` surfaces them — one literal
+// identifier on a context or minus line restores prunability.
+func (ix *Index) UnprunableRules() []string {
+	var out []string
+	for _, r := range ix.rules {
+		if r.kind == smpl.MatchRule && len(r.atoms) == 0 && len(r.groups) == 0 {
+			out = append(out, r.name)
+		}
+	}
+	return out
+}
+
 // Filter is an Index specialized to one run's virtual defines. Like the
 // Index it is immutable and safe for concurrent use.
 type Filter struct {

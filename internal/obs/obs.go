@@ -34,6 +34,7 @@ const (
 	StageSegment    = "segment"     // splitting a file into function segments
 	StageCFG        = "cfg"         // control-flow graph construction
 	StageMatch      = "match"       // rule matching (attributed per rule)
+	StageCheck      = "check"       // finding emission from match-only check rules (Matches = findings)
 	StageVerify     = "verify"      // post-transform safety checking
 	StageRender     = "render"      // applying edits, splicing, diffing
 	StageCacheRead  = "cache-read"  // result/function cache lookups

@@ -226,6 +226,30 @@ func TestProfileOutcomes(t *testing.T) {
 	}
 }
 
+// TestProfileFindings checks the check-stage counters: "check" span match
+// counts aggregate into a total and a per-rule breakdown, shown in Format.
+func TestProfileFindings(t *testing.T) {
+	tr := New()
+	tk := tr.Track("w")
+	tk.Start(StageCheck).Rule("cuda-sync").Matches(2).End()
+	tk.Start(StageCheck).Rule("cuda-sync").Matches(1).End()
+	tk.Start(StageCheck).Rule("acc-data").Matches(1).End()
+	tk.Start(StageCheck).Rule("quiet").Matches(0).End()
+	p := tr.Profile()
+	if p.Findings != 4 {
+		t.Fatalf("Findings = %d, want 4", p.Findings)
+	}
+	if p.FindingsByRule["cuda-sync"] != 3 || p.FindingsByRule["acc-data"] != 1 {
+		t.Fatalf("FindingsByRule = %v", p.FindingsByRule)
+	}
+	if _, ok := p.FindingsByRule["quiet"]; ok {
+		t.Fatalf("zero-finding rule in breakdown: %v", p.FindingsByRule)
+	}
+	if out := p.Format(); !strings.Contains(out, "findings: 4 (acc-data 1, cuda-sync 3)") {
+		t.Fatalf("Format() missing findings line:\n%s", out)
+	}
+}
+
 // chromeTrace mirrors the Chrome trace-event schema subset WriteJSON emits;
 // the golden-schema check decodes strictly into it.
 type chromeTrace struct {

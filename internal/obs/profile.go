@@ -43,6 +43,10 @@ type Profile struct {
 	// carrying a Func name is a segment decision).
 	PrefilterSkips, PrefilterPasses         int
 	FuncPrefilterSkips, FuncPrefilterPasses int
+	// Findings counts check-rule reports emitted during the trace (the sum
+	// of "check" span match counters), with a per-rule breakdown.
+	Findings       int
+	FindingsByRule map[string]int
 }
 
 // Profile aggregates the trace. Call after the traced run completes. Safe on
@@ -136,6 +140,14 @@ func (t *Tracer) Profile() *Profile {
 				case sp.outcome == OutcomePass:
 					p.PrefilterPasses++
 				}
+			case StageCheck:
+				p.Findings += sp.matches
+				if sp.rule != "" && sp.matches > 0 {
+					if p.FindingsByRule == nil {
+						p.FindingsByRule = map[string]int{}
+					}
+					p.FindingsByRule[sp.rule] += sp.matches
+				}
 			}
 		}
 	}
@@ -199,6 +211,26 @@ func (p *Profile) Format() string {
 				fmt.Fprintf(&sb, "rule %s never fired\n", rs.Rule)
 			}
 		}
+	}
+	if p.Findings > 0 {
+		rules := make([]string, 0, len(p.FindingsByRule))
+		for r := range p.FindingsByRule {
+			rules = append(rules, r)
+		}
+		sort.Strings(rules)
+		fmt.Fprintf(&sb, "findings: %d", p.Findings)
+		for i, r := range rules {
+			if i == 0 {
+				sb.WriteString(" (")
+			} else {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "%s %d", r, p.FindingsByRule[r])
+		}
+		if len(rules) > 0 {
+			sb.WriteString(")")
+		}
+		sb.WriteString("\n")
 	}
 	if n := p.FileCacheHits + p.FileCacheMisses; n > 0 {
 		fmt.Fprintf(&sb, "file cache: %d hits / %d lookups\n", p.FileCacheHits, n)

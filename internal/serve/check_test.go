@@ -1,0 +1,274 @@
+package serve
+
+// The /v1/sessions/{id}/check contract: the session's check-rule findings
+// stream as NDJSON (finding lines byte-identical to the CLI's --check
+// --format json output, then one summary line), a warm repeat replays every
+// finding with parsed == 0, per-severity counters reach /metrics, and the
+// whole thing survives concurrent hammering under -race.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/batch"
+	"repro/internal/smpl"
+)
+
+// checkPatch flags the same legacy call writeCorpus plants in every third
+// file, at two severities so the per-severity counters are distinguishable.
+const checkPatch = `// gocci:check id=legacy-halo severity=error msg="legacy halo exchange of n"
+@legacyhalo@
+expression n, tag;
+@@
+* legacy_halo_exchange(n, tag);
+
+// gocci:check id=compute-call severity=info msg="compute call"
+@computecall@
+expression n;
+identifier fn =~ "^compute_";
+@@
+* fn(n);
+`
+
+func newCheckServer(t *testing.T, root string) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := NewServer(batch.Options{Workers: 2})
+	if _, err := srv.AddSession(Config{
+		ID:      "chk",
+		Root:    root,
+		Patches: []*smpl.Patch{parsePatch(t, "check.cocci", checkPatch)},
+		Options: batch.Options{Workers: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	t.Cleanup(srv.Close)
+	return srv, ts
+}
+
+// postCheck runs one check sweep and splits the NDJSON stream into finding
+// lines and the trailing summary.
+func postCheck(t *testing.T, url string) ([]analysis.Finding, CheckSummary, []string) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("check: status %d: %s", resp.StatusCode, buf.String())
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("check content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	var findings []analysis.Finding
+	var summary CheckSummary
+	for i, line := range lines {
+		if i == len(lines)-1 {
+			var cl CheckLine
+			if err := json.Unmarshal([]byte(line), &cl); err != nil || cl.Summary == nil {
+				t.Fatalf("last line is not a summary: %s", line)
+			}
+			summary = *cl.Summary
+			break
+		}
+		var f analysis.Finding
+		if err := json.Unmarshal([]byte(line), &f); err != nil {
+			t.Fatalf("finding line %d: %s: %v", i, line, err)
+		}
+		if f.Check == "" {
+			t.Fatalf("line %d is not a finding: %s", i, line)
+		}
+		findings = append(findings, f)
+	}
+	return findings, summary, lines
+}
+
+func TestCheckEndpoint(t *testing.T) {
+	root := writeCorpus(t, 6) // files 0 and 3 carry legacy_halo_exchange
+	_, ts := newCheckServer(t, root)
+	url := ts.URL + "/v1/sessions/chk/check"
+
+	findings, summary, _ := postCheck(t, url)
+	wantErrors := 2 // legacy-halo in src00 and src03
+	wantInfo := 6   // compute-call in every file
+	byCheck := map[string]int{}
+	for _, f := range findings {
+		byCheck[f.Check]++
+		if f.FuncHash == "" || f.Line == 0 {
+			t.Errorf("incomplete finding %+v", f)
+		}
+	}
+	if byCheck["legacy-halo"] != wantErrors || byCheck["compute-call"] != wantInfo {
+		t.Fatalf("findings by check = %v, want legacy-halo:%d compute-call:%d", byCheck, wantErrors, wantInfo)
+	}
+	if summary.Files != 6 || summary.Findings != len(findings) || summary.Errors != 0 {
+		t.Errorf("summary %+v", summary)
+	}
+	if summary.Parsed == 0 {
+		t.Error("cold sweep reports parsed: 0")
+	}
+	if summary.BySeverity["error"] != wantErrors || summary.BySeverity["info"] != wantInfo {
+		t.Errorf("summary by_severity %v", summary.BySeverity)
+	}
+	// Findings arrive in the CLI's sort order: file-major, then line.
+	for i := 1; i < len(findings); i++ {
+		a, b := findings[i-1], findings[i]
+		if a.File > b.File || (a.File == b.File && a.Line > b.Line) {
+			t.Errorf("findings out of order: %s:%d before %s:%d", a.File, a.Line, b.File, b.Line)
+		}
+	}
+
+	// Warm repeat: identical findings, zero parses.
+	warm, warmSummary, _ := postCheck(t, url)
+	if len(warm) != len(findings) {
+		t.Fatalf("warm sweep: %d findings, want %d", len(warm), len(findings))
+	}
+	if warmSummary.Parsed != 0 {
+		t.Errorf("warm sweep parsed %d files, want 0", warmSummary.Parsed)
+	}
+
+	// The per-severity counters reach /metrics (two sweeps' worth).
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var mbuf bytes.Buffer
+	mbuf.ReadFrom(resp.Body)
+	for _, want := range []string{
+		fmt.Sprintf(`gocci_serve_session_findings_total{session="chk",severity="error"} %d`, 2*wantErrors),
+		fmt.Sprintf(`gocci_serve_session_findings_total{session="chk",severity="info"} %d`, 2*wantInfo),
+		`gocci_serve_session_findings_total{session="chk",severity="warning"} 0`,
+		`gocci_serve_http_requests_total{endpoint="check"} 2`,
+	} {
+		if !strings.Contains(mbuf.String(), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestCheckEndpointFileError pins the error-line shape: an unparsable file
+// becomes an Error line and counts in the summary, while the other files'
+// findings still stream.
+func TestCheckEndpointFileError(t *testing.T) {
+	root := writeCorpus(t, 3)
+	bad := filepath.Join(root, "bad.c")
+	if err := os.WriteFile(bad, []byte("void broken( {\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newCheckServer(t, root)
+	resp, err := http.Post(ts.URL+"/v1/sessions/chk/check", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+	sawError := false
+	for _, line := range lines[:len(lines)-1] {
+		var cl CheckLine
+		if json.Unmarshal([]byte(line), &cl) == nil && cl.Error != "" {
+			sawError = true
+			if !strings.Contains(cl.Error, "bad.c") {
+				t.Errorf("error line does not name the file: %s", line)
+			}
+		}
+	}
+	if !sawError {
+		t.Error("no error line for the unparsable file")
+	}
+	var cl CheckLine
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &cl); err != nil || cl.Summary == nil {
+		t.Fatalf("no trailing summary: %s", lines[len(lines)-1])
+	}
+	if cl.Summary.Errors != 1 || cl.Summary.Findings == 0 {
+		t.Errorf("summary %+v, want 1 error and surviving findings", *cl.Summary)
+	}
+}
+
+// TestCheckConcurrent hammers /check from several goroutines while edits
+// land between requests; run under -race. Every response must be internally
+// consistent — sorted findings and a summary whose counts match the lines.
+func TestCheckConcurrent(t *testing.T) {
+	root := writeCorpus(t, 6)
+	_, ts := newCheckServer(t, root)
+	url := ts.URL + "/v1/sessions/chk/check"
+	postCheck(t, url) // warm once
+
+	const hammers = 4
+	const rounds = 15
+	errc := make(chan error, hammers*rounds+rounds)
+	var wg sync.WaitGroup
+	for w := 0; w < hammers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				resp, err := http.Post(url, "application/json", nil)
+				if err != nil {
+					errc <- err
+					return
+				}
+				var buf bytes.Buffer
+				buf.ReadFrom(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != 200 {
+					errc <- fmt.Errorf("check: status %d", resp.StatusCode)
+					return
+				}
+				lines := strings.Split(strings.TrimSuffix(buf.String(), "\n"), "\n")
+				n := 0
+				for _, line := range lines[:len(lines)-1] {
+					var f analysis.Finding
+					if err := json.Unmarshal([]byte(line), &f); err != nil || f.Check == "" {
+						errc <- fmt.Errorf("bad finding line: %s", line)
+						return
+					}
+					n++
+				}
+				var cl CheckLine
+				if err := json.Unmarshal([]byte(lines[len(lines)-1]), &cl); err != nil || cl.Summary == nil {
+					errc <- fmt.Errorf("bad summary line: %s", lines[len(lines)-1])
+					return
+				}
+				if cl.Summary.Findings != n {
+					errc <- fmt.Errorf("summary says %d findings, stream has %d", cl.Summary.Findings, n)
+					return
+				}
+			}
+		}()
+	}
+	// Concurrent edits: rewrite one file per round so warm and re-derived
+	// sweeps interleave.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			src := fmt.Sprintf("void work_0(int n)\n{\n\tcompute_0(n + %d);\n}\n", i)
+			if err := os.WriteFile(filepath.Join(root, "src01.c"), []byte(src), 0o644); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

@@ -251,6 +251,12 @@ func TestMetricsScrapeClean(t *testing.T) {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}
+	if resp, err := http.Post(ts.URL+"/v1/sessions/hpc/check", "application/json", nil); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
 	src := "void f(int n)\n{\n\tlegacy_halo_exchange(n, 1);\n}\n"
 	if resp, _ := postJSON(t, ts.URL+"/v1/apply", map[string]any{"session": "hpc", "source": src}); resp.StatusCode != 200 {
 		t.Fatalf("apply status %d", resp.StatusCode)
@@ -289,6 +295,7 @@ func TestMetricsScrapeClean(t *testing.T) {
 		"gocci_serve_session_stage_seconds":    "histogram",
 		"gocci_serve_session_tracked_files":    "gauge",
 		"gocci_serve_session_files_read_total": "counter",
+		"gocci_serve_session_findings_total":   "counter",
 	} {
 		f, ok := byName[name]
 		if !ok {
@@ -309,13 +316,13 @@ func TestMetricsScrapeClean(t *testing.T) {
 			counts[s.labels["endpoint"]] = s.value
 		}
 	}
-	for _, ep := range []string{"run", "apply", "invalidate"} {
+	for _, ep := range []string{"run", "check", "apply", "invalidate"} {
 		if counts[ep] < 1 {
 			t.Errorf("endpoint %s latency histogram has count %v, want >= 1", ep, counts[ep])
 		}
 	}
-	if len(counts) != 3 {
-		t.Errorf("latency endpoints = %v, want exactly run/apply/invalidate", counts)
+	if len(counts) != 4 {
+		t.Errorf("latency endpoints = %v, want exactly run/check/apply/invalidate", counts)
 	}
 
 	// Stage histograms carry per-session per-stage series; the sweep above

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/batch"
 	"repro/internal/cache"
 	"repro/internal/obs"
@@ -52,8 +53,8 @@ type Server struct {
 
 // httpCounters counts requests per endpoint plus error responses.
 type httpCounters struct {
-	healthz, metrics, sessions, stats, run, invalidate, apply, trace atomic.Int64
-	errors                                                           atomic.Int64
+	healthz, metrics, sessions, stats, run, check, invalidate, apply, trace atomic.Int64
+	errors                                                                  atomic.Int64
 }
 
 // NewServer returns a Server with no sessions. defaults configures
@@ -69,6 +70,7 @@ func NewServer(defaults batch.Options) *Server {
 		compiled: cache.NewLRU[*batch.Campaign](64, 64),
 		latency: map[string]*obs.Histogram{
 			"run":        obs.NewHistogram(),
+			"check":      obs.NewHistogram(),
 			"apply":      obs.NewHistogram(),
 			"invalidate": obs.NewHistogram(),
 		},
@@ -130,6 +132,7 @@ func (srv *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sessions/{id}/stats", srv.handleStats)
 	mux.HandleFunc("GET /v1/sessions/{id}/trace", srv.handleTrace)
 	mux.HandleFunc("POST /v1/sessions/{id}/run", srv.handleRun)
+	mux.HandleFunc("POST /v1/sessions/{id}/check", srv.handleCheck)
 	mux.HandleFunc("POST /v1/sessions/{id}/invalidate", srv.handleInvalidate)
 	mux.HandleFunc("POST /v1/apply", srv.handleApply)
 	return mux
@@ -392,6 +395,79 @@ func (srv *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}})
 }
 
+// CheckLine is one non-finding NDJSON line of a streamed check sweep: a
+// per-file error, or the trailing summary. Every other line is one
+// analysis.Finding encoded exactly as the CLI's `--check --format json`
+// prints it, so the two streams are byte-identical up to the summary line.
+type CheckLine struct {
+	Error   string        `json:"error,omitempty"`
+	Summary *CheckSummary `json:"summary,omitempty"`
+}
+
+// CheckSummary is the trailing NDJSON line of a check sweep.
+type CheckSummary struct {
+	Files    int `json:"files"`
+	Parsed   int `json:"parsed"`
+	Findings int `json:"findings"`
+	// Errors counts per-file processing failures (reported as Error lines).
+	Errors int `json:"errors"`
+	// BySeverity breaks the findings down ("error", "warning", "info").
+	BySeverity map[string]int `json:"by_severity,omitempty"`
+	ElapsedMS  int64          `json:"elapsed_ms"`
+}
+
+// handleCheck streams the session campaign's check-rule findings as NDJSON:
+// per-file findings first (files in sorted path order, findings sorted
+// within each file, which is the CLI's global sort order), then exactly one
+// summary line. The sweep is the same resident-artifact sweep as /run —
+// rewrites are computed but never written anywhere — so a warm check over
+// an unchanged corpus replays every finding with Parsed == 0.
+func (srv *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	srv.requests.check.Add(1)
+	defer srv.observeLatency("check", time.Now())
+	s := srv.session(w, r)
+	if s == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	start := time.Now()
+	total := 0
+	bySev := map[string]int{}
+	stats, err := s.Run(func(fr batch.CampaignFileResult) error {
+		if fr.Err != nil {
+			return enc.Encode(CheckLine{Error: fr.Err.Error()})
+		}
+		fs := fr.Findings()
+		analysis.Sort(fs)
+		if err := analysis.WriteNDJSON(w, fs); err != nil {
+			return err
+		}
+		total += len(fs)
+		for sev, n := range analysis.CountBySeverity(fs) {
+			bySev[sev] += n
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		srv.requests.errors.Add(1)
+		enc.Encode(CheckLine{Error: err.Error()})
+		return
+	}
+	enc.Encode(CheckLine{Summary: &CheckSummary{
+		Files:      stats.Files,
+		Parsed:     stats.Parsed,
+		Findings:   total,
+		Errors:     stats.Errors,
+		BySeverity: bySev,
+		ElapsedMS:  time.Since(start).Milliseconds(),
+	}})
+}
+
 // ApplyRequest is the body of POST /v1/apply. Exactly one of Source/File
 // selects the input; Session and Patch select what to apply:
 //
@@ -555,6 +631,7 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"sessions", c.sessions.Load()},
 		{"stats", c.stats.Load()},
 		{"run", c.run.Load()},
+		{"check", c.check.Load()},
 		{"invalidate", c.invalidate.Load()},
 		{"apply", c.apply.Load()},
 		{"trace", c.trace.Load()},
@@ -567,7 +644,7 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	p.Gauge("gocci_serve_sessions", "Registered sessions.", nil, float64(len(sessions)))
 
 	p.Family("gocci_serve_http_request_seconds", "histogram", "Request latency by endpoint, for the endpoints that do engine work.")
-	for _, endpoint := range []string{"apply", "invalidate", "run"} {
+	for _, endpoint := range []string{"apply", "check", "invalidate", "run"} {
 		p.HistogramSeries([][2]string{{"endpoint", endpoint}}, srv.latency[endpoint].Snapshot())
 	}
 
@@ -607,6 +684,20 @@ func (srv *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		p.Family("gocci_serve_session_"+fam.name, fam.typ, fam.help)
 		for _, st := range stats {
 			p.Sample("", [][2]string{{"session", st.ID}}, fam.value(st))
+		}
+	}
+
+	p.Family("gocci_serve_session_findings_total", "counter", "Check-rule findings reported across all requests, by severity.")
+	for _, st := range stats {
+		for _, sev := range []struct {
+			name string
+			n    int64
+		}{
+			{"error", st.FindingsError},
+			{"warning", st.FindingsWarning},
+			{"info", st.FindingsInfo},
+		} {
+			p.Sample("", [][2]string{{"session", st.ID}, {"severity", sev.name}}, float64(sev.n))
 		}
 	}
 

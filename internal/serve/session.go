@@ -27,6 +27,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/batch"
 	"repro/internal/cache"
 	"repro/internal/cast"
@@ -134,6 +135,9 @@ type Session struct {
 	fnCachedC     atomic.Int64
 	demoted       atomic.Int64
 	warningsC     atomic.Int64
+	findingsErr   atomic.Int64
+	findingsWarn  atomic.Int64
+	findingsInfo  atomic.Int64
 	parsed        atomic.Int64
 	read          atomic.Int64
 	invalidations atomic.Int64
@@ -340,13 +344,34 @@ func (s *Session) Run(fn func(batch.CampaignFileResult) error) (RunStats, error)
 		states[i] = s.state(path, infos[i])
 	}
 	tr := obs.New()
-	st, err := s.campaign.CollectStatesT(states, tr, fn)
+	st, err := s.campaign.CollectStatesT(states, tr, func(fr batch.CampaignFileResult) error {
+		s.countFindings(fr.Findings())
+		if fn == nil {
+			return nil
+		}
+		return fn(fr)
+	})
 	for i := range states {
 		s.harvest(paths[i], infos[i], states[i])
 	}
 	out := s.account(st, states)
 	out.StageSeconds = s.observe(tr, true)
 	return out, err
+}
+
+// countFindings folds one file's check-rule findings into the per-severity
+// counters behind /metrics.
+func (s *Session) countFindings(fs []analysis.Finding) {
+	for _, f := range fs {
+		switch f.Severity {
+		case analysis.SeverityError:
+			s.findingsErr.Add(1)
+		case analysis.SeverityWarning:
+			s.findingsWarn.Add(1)
+		default:
+			s.findingsInfo.Add(1)
+		}
+	}
 }
 
 // observe folds one request's trace into the session's stage histograms and
@@ -494,6 +519,7 @@ func (s *Session) runOneWith(camp *batch.Campaign, st *batch.FileState) (batch.C
 	if err != nil {
 		return batch.CampaignFileResult{}, err
 	}
+	s.countFindings(out.Findings())
 	s.processed.Add(int64(stats.Files))
 	s.changed.Add(int64(stats.Changed))
 	s.errors.Add(int64(stats.Errors))
@@ -536,6 +562,11 @@ type SessionStats struct {
 	FilesParsed    int64 `json:"files_parsed"`
 	FilesRead      int64 `json:"files_read"`
 
+	// Check-rule findings reported across all requests, by severity.
+	FindingsError   int64 `json:"findings_error"`
+	FindingsWarning int64 `json:"findings_warning"`
+	FindingsInfo    int64 `json:"findings_info"`
+
 	// StageSeconds is cumulative per-stage self-time across all requests,
 	// in seconds (pipeline stages plus the worker/file umbrella glue).
 	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
@@ -563,32 +594,35 @@ func (s *Session) Stats() SessionStats {
 	astHits, astMisses := s.asts.HitsMisses()
 	memHits, memMisses := s.mem.HitsMisses()
 	st := SessionStats{
-		ID:             s.id,
-		Root:           s.root,
-		Patches:        s.PatchNames(),
-		Workers:        s.opts.Workers,
-		TrackedFiles:   tracked,
-		Runs:           s.runs.Load(),
-		Applies:        s.applies.Load(),
-		FilesProcessed: s.processed.Load(),
-		FilesChanged:   s.changed.Load(),
-		FileErrors:     s.errors.Load(),
-		PatchCached:    s.patchCached.Load(),
-		PatchSkipped:   s.patchSkipped.Load(),
-		FuncsMatched:   s.fnMatchedC.Load(),
-		FuncsCached:    s.fnCachedC.Load(),
-		Demoted:        s.demoted.Load(),
-		Warnings:       s.warningsC.Load(),
-		FilesParsed:    s.parsed.Load(),
-		FilesRead:      s.read.Load(),
-		ASTEntries:     s.asts.Len(),
-		ASTHits:        astHits,
-		ASTMisses:      astMisses,
-		MemEntries:     s.mem.Len(),
-		MemHits:        memHits,
-		MemMisses:      memMisses,
-		Invalidations:  s.invalidations.Load(),
-		WatchScans:     s.watchScans.Load(),
+		ID:              s.id,
+		Root:            s.root,
+		Patches:         s.PatchNames(),
+		Workers:         s.opts.Workers,
+		TrackedFiles:    tracked,
+		Runs:            s.runs.Load(),
+		Applies:         s.applies.Load(),
+		FilesProcessed:  s.processed.Load(),
+		FilesChanged:    s.changed.Load(),
+		FileErrors:      s.errors.Load(),
+		PatchCached:     s.patchCached.Load(),
+		PatchSkipped:    s.patchSkipped.Load(),
+		FuncsMatched:    s.fnMatchedC.Load(),
+		FuncsCached:     s.fnCachedC.Load(),
+		Demoted:         s.demoted.Load(),
+		Warnings:        s.warningsC.Load(),
+		FilesParsed:     s.parsed.Load(),
+		FilesRead:       s.read.Load(),
+		FindingsError:   s.findingsErr.Load(),
+		FindingsWarning: s.findingsWarn.Load(),
+		FindingsInfo:    s.findingsInfo.Load(),
+		ASTEntries:      s.asts.Len(),
+		ASTHits:         astHits,
+		ASTMisses:       astMisses,
+		MemEntries:      s.mem.Len(),
+		MemHits:         memHits,
+		MemMisses:       memMisses,
+		Invalidations:   s.invalidations.Load(),
+		WatchScans:      s.watchScans.Load(),
 	}
 	s.obsMu.Lock()
 	if len(s.stageSelf) > 0 {

@@ -3,10 +3,14 @@ package smpl
 import (
 	"fmt"
 	"regexp"
+	"strconv"
 	"strings"
 
 	"repro/internal/cast"
 )
+
+// checkPrefix introduces a check metadata header comment line.
+const checkPrefix = "// gocci:check"
 
 // ParsePatch parses the text of a .cocci semantic patch file.
 func ParsePatch(name, text string) (*Patch, error) {
@@ -14,8 +18,21 @@ func ParsePatch(name, text string) (*Patch, error) {
 	lines := strings.Split(text, "\n")
 	i := 0
 	anon := 0
+	var pendingCheck *CheckMeta
 	for i < len(lines) {
 		line := strings.TrimSpace(lines[i])
+		if isCheckLine(line) {
+			if pendingCheck != nil {
+				return nil, &SyntaxError{File: name, Line: i + 1, Msg: "duplicate gocci:check header; one per rule"}
+			}
+			cm, err := parseCheckHeader(name, i+1, line)
+			if err != nil {
+				return nil, err
+			}
+			pendingCheck = cm
+			i++
+			continue
+		}
 		if line == "" || strings.HasPrefix(line, "//") || strings.HasPrefix(line, "#") {
 			// blank, comment, or a "#spatch --c++" option line between rules
 			i++
@@ -46,8 +63,19 @@ func ParsePatch(name, text string) (*Patch, error) {
 		for _, m := range rule.Metas {
 			m.Rule = rule.Name
 		}
+		if pendingCheck != nil {
+			if rule.Kind != MatchRule {
+				return nil, &SyntaxError{File: name, Line: i + 1,
+					Msg: "gocci:check header must precede a match rule, not a " + rule.Kind.String() + " rule"}
+			}
+			rule.Check = pendingCheck
+			pendingCheck = nil
+		}
 		p.Rules = append(p.Rules, rule)
 		i = next
+	}
+	if pendingCheck != nil {
+		return nil, &SyntaxError{File: name, Line: len(lines), Msg: "gocci:check header with no rule following it"}
 	}
 	if len(p.Rules) == 0 {
 		return nil, &SyntaxError{File: name, Line: 1, Msg: "no rules found"}
@@ -62,9 +90,93 @@ func ParsePatch(name, text string) (*Patch, error) {
 			return nil, err
 		}
 		r.Pattern = pat
+		if r.Check != nil && pat.HasTransform {
+			return nil, &SyntaxError{File: name,
+				Msg: "rule " + r.Name + " carries a gocci:check header but has -/+ transform lines; check rules are match-only"}
+		}
 	}
 	return p, nil
 }
+
+// isCheckLine recognizes a `// gocci:check ...` metadata header comment.
+func isCheckLine(l string) bool {
+	return l == checkPrefix || strings.HasPrefix(l, checkPrefix+" ")
+}
+
+// parseCheckHeader parses `// gocci:check id=... severity=... msg="..."`.
+// Fields may appear in any order; id is required, severity defaults to
+// "warning", msg to "" (the engine then synthesizes a message).
+func parseCheckHeader(file string, lineNo int, line string) (*CheckMeta, error) {
+	cm := &CheckMeta{Severity: "warning"}
+	rest := strings.TrimSpace(strings.TrimPrefix(line, checkPrefix))
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq <= 0 {
+			return nil, &SyntaxError{File: file, Line: lineNo, Msg: fmt.Sprintf("malformed gocci:check field %q (want key=value)", rest)}
+		}
+		key := strings.TrimSpace(rest[:eq])
+		rest = rest[eq+1:]
+		var val string
+		if strings.HasPrefix(rest, `"`) {
+			// Quoted value: find the closing quote, honoring escapes.
+			end := -1
+			for j := 1; j < len(rest); j++ {
+				if rest[j] == '\\' {
+					j++
+					continue
+				}
+				if rest[j] == '"' {
+					end = j
+					break
+				}
+			}
+			if end < 0 {
+				return nil, &SyntaxError{File: file, Line: lineNo, Msg: "unterminated quoted value in gocci:check header"}
+			}
+			uq, err := strconv.Unquote(rest[:end+1])
+			if err != nil {
+				return nil, &SyntaxError{File: file, Line: lineNo, Msg: fmt.Sprintf("bad quoted value in gocci:check header: %v", err)}
+			}
+			val = uq
+			rest = strings.TrimSpace(rest[end+1:])
+		} else {
+			sp := strings.IndexAny(rest, " \t")
+			if sp < 0 {
+				val, rest = rest, ""
+			} else {
+				val, rest = rest[:sp], strings.TrimSpace(rest[sp+1:])
+			}
+		}
+		switch key {
+		case "id":
+			cm.ID = val
+		case "severity":
+			switch val {
+			case "error", "warning", "info":
+				cm.Severity = val
+			default:
+				return nil, &SyntaxError{File: file, Line: lineNo,
+					Msg: fmt.Sprintf("gocci:check severity %q is not error, warning, or info", val)}
+			}
+		case "msg":
+			cm.Msg = val
+		default:
+			return nil, &SyntaxError{File: file, Line: lineNo, Msg: fmt.Sprintf("unknown gocci:check field %q", key)}
+		}
+	}
+	if cm.ID == "" {
+		return nil, &SyntaxError{File: file, Line: lineNo, Msg: "gocci:check header is missing id="}
+	}
+	if !checkIDRe.MatchString(cm.ID) {
+		return nil, &SyntaxError{File: file, Line: lineNo,
+			Msg: fmt.Sprintf("gocci:check id %q may only contain letters, digits, '.', '_', and '-'", cm.ID)}
+	}
+	return cm, nil
+}
+
+// checkIDRe bounds check ids to SARIF-friendly rule-id characters; the
+// renderer prints ids unquoted, so spaces and '=' must stay out.
+var checkIDRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
 
 // parseRule parses one rule starting at line i; returns the rule and the
 // index of the first line after its body.
@@ -115,11 +227,15 @@ func parseRule(file string, lines []string, i int, anon *int) (*Rule, int, error
 		return nil, 0, err
 	}
 
-	// Body: until next rule header line or EOF.
+	// Body: until the next rule header line (or the gocci:check header of
+	// the next rule) or EOF.
 	var body []string
 	for i < len(lines) {
 		t := strings.TrimSpace(lines[i])
 		if strings.HasPrefix(t, "@") && isHeaderLine(t) {
+			break
+		}
+		if isCheckLine(t) {
 			break
 		}
 		body = append(body, lines[i])

@@ -31,10 +31,22 @@ func CompileBody(file string, r *Rule) (*Pattern, error) {
 			pat.LineMarks[i] = Minus
 			pat.HasTransform = true
 			minus = append(minus, " "+l[1:])
+		case strings.HasPrefix(l, "*"):
+			// Coccinelle context mode: a column-0 `*` marks the line as a
+			// report anchor. It matches exactly like a context line (the
+			// space keeps token columns aligned with the body), so a star
+			// rule never transforms.
+			pat.LineMarks[i] = Star
+			pat.HasStar = true
+			minus = append(minus, " "+l[1:])
 		default:
 			pat.LineMarks[i] = Ctx
 			minus = append(minus, l)
 		}
+	}
+	if pat.HasStar && pat.HasTransform {
+		return nil, &SyntaxError{File: file, Msg: "rule " + r.Name +
+			" mixes `*` context lines with -/+ transform lines; a rule either reports or rewrites"}
 	}
 
 	// Plus blocks: consecutive + lines share one anchor.

@@ -36,6 +36,12 @@ func Render(p *Patch) string {
 }
 
 func renderRule(sb *strings.Builder, r *Rule) {
+	if r.Check != nil {
+		// Canonical field order; msg always quoted so interpolation markers
+		// and spaces survive the parse→print→parse fixpoint.
+		fmt.Fprintf(sb, "// gocci:check id=%s severity=%s msg=%q\n",
+			r.Check.ID, r.Check.Severity, r.Check.Msg)
+	}
 	sb.WriteString("@")
 	switch r.Kind {
 	case ScriptRule:

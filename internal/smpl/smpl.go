@@ -26,6 +26,17 @@ type Patch struct {
 	Virtuals []string
 }
 
+// HasChecks reports whether any rule of the patch is a match-only check
+// rule — the patches `gocci --check` runs.
+func (p *Patch) HasChecks() bool {
+	for _, r := range p.Rules {
+		if r.IsCheck() {
+			return true
+		}
+	}
+	return false
+}
+
 // RuleKind discriminates rule flavours.
 type RuleKind uint8
 
@@ -59,14 +70,42 @@ type Rule struct {
 	Depends *DepExpr
 	Metas   []*MetaDecl
 
+	// Check is the `// gocci:check` metadata header preceding the rule, nil
+	// for ordinary rules. A rule carrying one is match-only: it reports
+	// findings and never rewrites.
+	Check *CheckMeta
+
 	// Match rules.
-	Body    string // raw body text (with -/+ marks)
+	Body    string // raw body text (with -/+/* marks)
 	Pattern *Pattern
 
 	// Script rules.
 	Inputs  []ScriptInput
 	Outputs []string
 	Code    string
+}
+
+// CheckMeta is the metadata of one check rule, written as a
+// `// gocci:check id=... severity=... msg="..."` comment line immediately
+// before the rule header. Msg may reference the rule's metavariables; the
+// engine interpolates their bound text into the reported message.
+type CheckMeta struct {
+	ID       string
+	Severity string // "error", "warning", or "info"
+	Msg      string
+}
+
+// IsCheck reports whether the rule is a match-only check rule: it carries
+// check metadata, or its body contains `*` star-lines. Check rules match
+// and report but never transform.
+func (r *Rule) IsCheck() bool {
+	if r.Kind != MatchRule {
+		return false
+	}
+	if r.Check != nil {
+		return true
+	}
+	return r.Pattern != nil && r.Pattern.HasStar
 }
 
 // ScriptInput is one `local << rule.remote;` binding of a script rule.
@@ -144,6 +183,10 @@ const (
 	Ctx Mark = iota
 	Minus
 	Plus
+	// Star marks Coccinelle context-mode lines (`*` in column 0): the line
+	// participates in matching exactly like a context line, but flags the
+	// rule as match-only and its tokens as report anchors.
+	Star
 )
 
 // PlusBlock is a group of consecutive + lines with its anchor in the
@@ -195,6 +238,9 @@ type Pattern struct {
 	PlusBlocks []PlusBlock
 	// HasTransform is true when the body contains - or + lines.
 	HasTransform bool
+	// HasStar is true when the body contains `*` star-lines (context mode).
+	// Star-lines and transform lines are mutually exclusive per rule.
+	HasStar bool
 }
 
 // TokenMark returns the mark of the body line on which pattern token i sits.
@@ -207,6 +253,21 @@ func (p *Pattern) TokenMark(i int) Mark {
 		return Ctx
 	}
 	return p.LineMarks[line]
+}
+
+// FirstStarToken returns the index of the first pattern token sitting on a
+// star-line, or -1 when the body has none. It is the default report anchor
+// of a check rule without position metavariables.
+func (p *Pattern) FirstStarToken() int {
+	if !p.HasStar || p.Toks == nil {
+		return -1
+	}
+	for i := range p.Toks.Tokens {
+		if p.TokenMark(i) == Star {
+			return i
+		}
+	}
+	return -1
 }
 
 // MetaTable implements cparse.MetaTable over a rule's declarations.

@@ -24,6 +24,7 @@ import (
 	"iter"
 	"os"
 
+	"repro/internal/analysis"
 	"repro/internal/batch"
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -32,6 +33,13 @@ import (
 	"repro/internal/smpl"
 	"repro/internal/verify"
 )
+
+// Finding is one report from a match-only check rule (an SmPL rule with `*`
+// star-lines or a `// gocci:check` metadata header): where it fired, the
+// interpolated message, its severity, the bound metavariables, and the
+// position-independent function-identity pair the baseline keys on. See
+// docs/check.md.
+type Finding = analysis.Finding
 
 // Diff renders the unified diff between two versions of a file with the
 // conventional a/ and b/ name prefixes — the same rendering Result.Diffs
@@ -161,6 +169,9 @@ type Result struct {
 	// matches: outputs are valid but possibly incomplete. Rerun with a
 	// larger cap to get every match.
 	EnvsTruncated bool
+	// Findings are the check-rule reports (match-only star rules and
+	// gocci:check rules; empty for pure transform patches).
+	Findings []Finding
 }
 
 // Changed lists files whose output differs from the input.
@@ -190,6 +201,24 @@ func (p *Patch) Rules() []string {
 	out := make([]string, 0, len(p.p.Rules))
 	for _, r := range p.p.Rules {
 		out = append(out, r.Name)
+	}
+	return out
+}
+
+// HasChecks reports whether any rule of the patch is a match-only check
+// rule (star-lines or a gocci:check header): applying such a patch emits
+// Findings, and a patch of only check rules never changes its input.
+func (p *Patch) HasChecks() bool { return p.p.HasChecks() }
+
+// CheckRules returns, in order, the names of the patch's match-only check
+// rules. Front ends use it to label such rules distinctly (a check rule that
+// "never fired" found nothing to report — it did not fail to rewrite).
+func (p *Patch) CheckRules() []string {
+	var out []string
+	for _, r := range p.p.Rules {
+		if r.IsCheck() {
+			out = append(out, r.Name)
+		}
 	}
 	return out
 }
@@ -293,6 +322,7 @@ func (a *Applier) Apply(files ...File) (*Result, error) {
 		Matched:       res.Matched,
 		MatchCount:    res.MatchCount,
 		EnvsTruncated: res.EnvsTruncated,
+		Findings:      res.Findings,
 	}, nil
 }
 
@@ -339,6 +369,11 @@ type FileResult struct {
 	// still records what matched, but Output equals the input and Diff is
 	// empty.
 	Demoted bool
+	// Findings are the check-rule reports for this file.
+	Findings []Finding
+	// Parsed reports that this run actually parsed the file (false for
+	// prefilter skips and cache replays).
+	Parsed bool
 	// Err is this file's failure; other files in the batch still complete.
 	Err error
 }
@@ -363,6 +398,10 @@ type BatchStats struct {
 	// totals the verifier findings across all files (Options.Verify).
 	Demoted  int
 	Warnings int
+	// Findings totals the check-rule reports across all files.
+	Findings int
+	// Parsed counts files this run actually parsed (vs skipped/replayed).
+	Parsed int
 }
 
 // BatchApplier applies one patch across many files concurrently with a
@@ -486,6 +525,8 @@ func publicResult(fr batch.FileResult) FileResult {
 		FuncsCached:   fr.FuncsCached,
 		Warnings:      publicWarnings(fr.Warnings),
 		Demoted:       fr.Demoted,
+		Findings:      fr.Findings,
+		Parsed:        fr.Parsed,
 		Err:           fr.Err,
 	}
 }
@@ -503,6 +544,8 @@ func publicStats(st batch.Stats) BatchStats {
 		FuncsCached:  st.FuncsCached,
 		Demoted:      st.Demoted,
 		Warnings:     st.Warnings,
+		Findings:     st.Findings,
+		Parsed:       st.Parsed,
 	}
 }
 
@@ -532,6 +575,8 @@ type PatchOutcome struct {
 	// Demoted reports that an unsafe finding reverted this patch's edit:
 	// later members saw the text this patch received.
 	Demoted bool
+	// Findings are this patch's check-rule reports for this file.
+	Findings []Finding
 }
 
 // CampaignFileResult is one file's outcome across every patch of a
@@ -550,12 +595,24 @@ type CampaignFileResult struct {
 	Diff string
 	// Patches holds one outcome per member patch, in campaign order.
 	Patches []PatchOutcome
+	// Parsed reports that the sweep actually parsed the file's text.
+	Parsed bool
 	// Err is this file's failure; other files in the sweep still complete.
 	Err error
 }
 
 // Changed reports whether any patch modified the file.
 func (r CampaignFileResult) Changed() bool { return r.Diff != "" }
+
+// Findings gathers every member patch's check-rule reports for the file, in
+// campaign order.
+func (r CampaignFileResult) Findings() []Finding {
+	var out []Finding
+	for _, o := range r.Patches {
+		out = append(out, o.Findings...)
+	}
+	return out
+}
 
 // PatchStats aggregates one campaign member over a completed run.
 type PatchStats struct {
@@ -573,6 +630,8 @@ type PatchStats struct {
 	// Warnings totals its verifier findings (Options.Verify).
 	Demoted  int
 	Warnings int
+	// Findings totals this patch's check-rule reports across all files.
+	Findings int
 }
 
 // CampaignStats aggregates a completed campaign run.
@@ -580,6 +639,7 @@ type CampaignStats struct {
 	Files    int // files processed
 	Changed  int // files whose final output differs from the input
 	Errors   int // files that failed
+	Parsed   int // files the sweep actually parsed (vs replayed/skipped)
 	PerPatch []PatchStats
 }
 
@@ -669,6 +729,7 @@ func publicCampaignResult(fr batch.CampaignFileResult) CampaignFileResult {
 		Output:       fr.Output,
 		OutputElided: fr.OutputElided,
 		Diff:         fr.Diff,
+		Parsed:       fr.Parsed,
 		Err:          fr.Err,
 	}
 	for _, o := range fr.Patches {
@@ -683,13 +744,14 @@ func publicCampaignResult(fr batch.CampaignFileResult) CampaignFileResult {
 			FuncsCached:   o.FuncsCached,
 			Warnings:      publicWarnings(o.Warnings),
 			Demoted:       o.Demoted,
+			Findings:      o.Findings,
 		})
 	}
 	return out
 }
 
 func publicCampaignStats(st batch.CampaignStats) CampaignStats {
-	out := CampaignStats{Files: st.Files, Changed: st.Changed, Errors: st.Errors}
+	out := CampaignStats{Files: st.Files, Changed: st.Changed, Errors: st.Errors, Parsed: st.Parsed}
 	for _, ps := range st.PerPatch {
 		out.PerPatch = append(out.PerPatch, PatchStats{
 			Patch:        ps.Patch,
@@ -702,6 +764,7 @@ func publicCampaignStats(st batch.CampaignStats) CampaignStats {
 			FuncsCached:  ps.FuncsCached,
 			Demoted:      ps.Demoted,
 			Warnings:     ps.Warnings,
+			Findings:     ps.Findings,
 		})
 	}
 	return out

@@ -9,10 +9,12 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"io/fs"
 	"net/http"
 	"net/http/httptest"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -262,5 +264,75 @@ func TestServeLibrary(t *testing.T) {
 	// The second session id collides; the error is immediate.
 	if _, err := server.AddSession(SessionConfig{Root: root, Patches: []*Patch{patch}}); err == nil {
 		t.Error("duplicate session id must be rejected")
+	}
+}
+
+// TestServeCheckCLIParity is the check-mode acceptance pin: the NDJSON
+// finding lines streamed by POST /v1/sessions/{id}/check must be
+// byte-identical to what `gocci --check --format json` prints over the
+// same tree with the same patch.
+func TestServeCheckCLIParity(t *testing.T) {
+	const checkParityPatch = `// gocci:check id=legacy-call severity=warning msg="legacy call with n"
+@legacycall@
+expression n, tag;
+@@
+* legacy_halo_exchange(n, tag);
+`
+	root := writeServeCorpus(t, 8)
+	patchPath := filepath.Join(t.TempDir(), "check.cocci")
+	if err := os.WriteFile(patchPath, []byte(checkParityPatch), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	bin := buildTool(t, "gocci")
+	cmd := exec.Command(bin, "--check", "--format", "json", "-r", root, "--sp-file", patchPath)
+	cliOut, err := cmd.Output()
+	// Findings at warning severity with the default --fail-on error keep
+	// the exit status 0; any other failure is real.
+	if err != nil {
+		t.Fatalf("cli check: %v", err)
+	}
+	if len(cliOut) == 0 {
+		t.Fatal("cli check reported no findings; the corpus must trip the rule")
+	}
+
+	patch, err := ParsePatch("check.cocci", checkParityPatch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := NewServer(Options{Workers: 2})
+	defer server.Close()
+	if _, err := server.AddSession(SessionConfig{
+		ID:      "chk",
+		Root:    root,
+		Patches: []*Patch{patch},
+		Options: Options{Workers: 2},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(server.Handler())
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/sessions/chk/check", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("check: status %d: %s", resp.StatusCode, body)
+	}
+	// Drop the trailing summary line; everything before it must match the
+	// CLI stream byte for byte.
+	idx := strings.LastIndexByte(strings.TrimSuffix(string(body), "\n"), '\n')
+	if idx < 0 {
+		t.Fatalf("check stream has no finding lines: %s", body)
+	}
+	serveFindings := string(body)[:idx+1]
+	if serveFindings != string(cliOut) {
+		t.Errorf("serve findings diverge from CLI findings:\n--- cli\n%s--- serve\n%s", cliOut, serveFindings)
 	}
 }
